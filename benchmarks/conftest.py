@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and the paper's reference numbers."""
+
+import pytest
+
+# MONA solve times reported in §5 of the paper (seconds), for shape
+# comparison in EXPERIMENTS.md.  Absolute values are not comparable: the
+# paper ran MONA (C) on a 40-core 2.2 GHz server; we run a pure-Python
+# solver.  What must match: the verdicts, and the relative ordering
+# (race checks << small fusions << CSS << cycletree fusion).
+PAPER_TIMES = {
+    "T1.1 sizecount fusion (valid)": 0.14,
+    "T1.2 sizecount fusion (invalid)": 0.14,
+    "T1.3 sizecount race-freeness": 0.02,
+    "T1.4 treemutation fusion": 0.12,
+    "T1.5 css fusion": 6.88,
+    "T1.6 cycletree fusion": 490.55,
+    "T1.7 cycletree parallelization": 0.95,
+}
+
+PAPER_VERDICTS = {
+    "T1.1 sizecount fusion (valid)": "equivalent",
+    "T1.2 sizecount fusion (invalid)": "not-equivalent",
+    "T1.3 sizecount race-freeness": "race-free",
+    "T1.4 treemutation fusion": "equivalent",
+    "T1.5 css fusion": "equivalent",
+    "T1.6 cycletree fusion": "equivalent",
+    "T1.7 cycletree parallelization": "race",
+}
+
+
+@pytest.fixture(scope="session")
+def scope3():
+    from repro.core.bounded import default_scope
+
+    return default_scope(3)
+
+
+@pytest.fixture(scope="session")
+def scope4():
+    from repro.core.bounded import default_scope
+
+    return default_scope(4)

@@ -1,0 +1,73 @@
+"""Table 1 — the paper's evaluation (§5), one benchmark per verification
+task.
+
+Each benchmark runs the corresponding query on the bounded engine (scope:
+every tree shape with ≤ 4 internal nodes) and asserts the verdict the paper
+reports.  The symbolic (MSO) engine's timings for the queries it completes
+within budget are benchmarked in ``test_mso_engine.py``; per-engine numbers
+are collated into EXPERIMENTS.md by ``benchmarks/table1.py``.
+"""
+
+import pytest
+
+from repro.casestudies import css, cycletree, sizecount, treemutation
+from repro.core.bounded import check_conflict_bounded, check_data_race_bounded
+
+
+def test_sizecount_fusion_valid(benchmark, scope4):
+    """T1.1 — fuse Odd/Even into Fig. 6a (paper: valid, 0.14 s MONA)."""
+    p = sizecount.sequential_program()
+    q = sizecount.fused_valid()
+    m = sizecount.fusion_correspondence()
+    v = benchmark(check_conflict_bounded, p, q, m, scope4)
+    assert v.holds
+
+
+def test_sizecount_fusion_invalid(benchmark, scope4):
+    """T1.2 — the broken fusion of Fig. 6b (paper: counterexample)."""
+    p = sizecount.sequential_program()
+    q = sizecount.fused_invalid()
+    m = sizecount.invalid_fusion_correspondence()
+    v = benchmark(check_conflict_bounded, p, q, m, scope4)
+    assert v.found
+
+
+def test_sizecount_race_free(benchmark, scope4):
+    """T1.3 — Odd(n) || Even(n) is race-free (paper: 0.02 s MONA)."""
+    p = sizecount.parallel_program()
+    v = benchmark(check_data_race_bounded, p, scope4)
+    assert v.holds
+
+
+def test_treemutation_fusion(benchmark, scope4):
+    """T1.4 — fuse Swap + IncrmLeft after mutation simulation (valid)."""
+    p = treemutation.original_program()
+    q = treemutation.fused_program()
+    m = treemutation.fusion_correspondence()
+    v = benchmark(check_conflict_bounded, p, q, m, scope4)
+    assert v.holds
+
+
+def test_css_fusion(benchmark, scope4):
+    """T1.5 — fuse the three CSS minification passes (paper: 6.88 s)."""
+    p = css.original_program()
+    q = css.fused_program()
+    m = css.fusion_correspondence()
+    v = benchmark(check_conflict_bounded, p, q, m, scope4)
+    assert v.holds
+
+
+def test_cycletree_fusion(benchmark, scope4):
+    """T1.6 — fuse cyclic numbering + routing (paper's hardest: 490.55 s)."""
+    p = cycletree.sequential_program()
+    q = cycletree.fused_program()
+    m = cycletree.fusion_correspondence()
+    v = benchmark(check_conflict_bounded, p, q, m, scope4)
+    assert v.holds
+
+
+def test_cycletree_parallel_race(benchmark, scope4):
+    """T1.7 — RootMode || ComputeRouting races on n.num (true positive)."""
+    p = cycletree.parallel_program()
+    v = benchmark(check_data_race_bounded, p, scope4)
+    assert v.found

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CSS minification: run a real minifier, then verify its fused pipeline.
+
+The scenario the paper's §5 motivates: a CSS minifier traverses the style
+sheet's AST once per optimization pass; fusing the passes into one traversal
+saves walks, but is it *correct*?
+
+1. minify an actual style sheet with three separate passes
+   (``ConvertValues``, ``MinifyFont``, ``ReduceInit``) and with the fused
+   single pass — outputs must match;
+2. model the passes as Retreet traversals over the LCRS-converted AST
+   (string conditions arithmetized, per the paper's preprocessing);
+3. verify the fusion with the Retreet framework;
+4. show the coarse traversal-summary baseline *cannot* justify this fusion.
+
+Run:  python examples/css_minify.py [--engine bounded|mso|auto]
+"""
+
+import argparse
+
+from repro import check_equivalence
+from repro.baselines import CoarseAnalysis
+from repro.casestudies import css as css_case
+from repro.interp import run
+from repro.trees.css import css_to_binary_tree, minify, minify_fused
+
+STYLESHEET = """
+.header {
+  transition-duration: 100ms;
+  font-weight: normal;
+  min-width: initial;
+}
+.nav a {
+  width: 0px;
+  font-weight: bold;
+  letter-spacing: initial;
+}
+.footer {
+  max-width: initial;
+  animation-duration: 2000ms;
+  font-weight: 400;
+}
+"""
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--engine", default="bounded",
+                    choices=["mso", "bounded", "auto"])
+    args = ap.parse_args()
+
+    print("=" * 72)
+    print("1. Real minification (three passes vs fused)")
+    print("=" * 72)
+    out_separate = minify(STYLESHEET)
+    out_fused = minify_fused(STYLESHEET)
+    print("input bytes:  ", len(STYLESHEET))
+    print("minified bytes:", len(out_separate))
+    print("output:       ", out_separate)
+    assert out_separate == out_fused
+    print("three-pass output == fused output  (on this input)")
+
+    print("=" * 72)
+    print("2. The Retreet model of the passes")
+    print("=" * 72)
+    prog = css_case.original_program()
+    fused = css_case.fused_program()
+    tree = css_to_binary_tree(STYLESHEET)
+    print(f"LCRS-converted AST: {tree.size} nodes, height {tree.height}")
+    ra = run(prog, tree)
+    rb = run(fused, tree)
+    same = ra.field_snapshot(css_case.FIELDS) == rb.field_snapshot(css_case.FIELDS)
+    print("modelled passes agree on the encoded AST:", same)
+    assert same
+
+    print("=" * 72)
+    print(f"3. Verify the fusion for ALL inputs   [{args.engine}]")
+    print("=" * 72)
+    res = check_equivalence(
+        prog, fused, css_case.fusion_correspondence(), engine=args.engine
+    )
+    print(res)
+    assert res.verdict == "equivalent"
+
+    print("=" * 72)
+    print("4. What the coarse (TreeFuser-style) baseline says")
+    print("=" * 72)
+    coarse = CoarseAnalysis(prog)
+    for f, g in (
+        ("ConvertValues", "MinifyFont"),
+        ("MinifyFont", "ReduceInit"),
+    ):
+        ok, reasons = coarse.can_fuse(f, g)
+        print(f"fuse {f} + {g}: {'ACCEPT' if ok else 'REJECT'}")
+        for r in reasons[:3]:
+            print(f"    - {r}")
+    print()
+    print(
+        "The traversal-summary baseline rejects the fusion (the passes "
+        "touch the same fields); Retreet proves it safe because the "
+        "per-node schedule keeps every dependence in order."
+    )
+
+
+if __name__ == "__main__":
+    main()

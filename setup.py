@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Kept for legacy editable installs on environments without the `wheel`
+# package (PEP 660 builds need bdist_wheel). All metadata lives in
+# pyproject.toml.
+setup()

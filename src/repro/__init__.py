@@ -1,0 +1,52 @@
+"""Retreet: reasoning about recursive tree traversals.
+
+A from-scratch reproduction of *"Reasoning About Recursive Tree
+Traversals"* (Wang, Liu, Zhang, Qiu — PPoPP 2021): an expressive language
+for mutually recursive tree traversals, a configuration abstraction for
+their iterations, an encoding into monadic second-order logic over trees,
+and a WS2S-style solver (a MONA substitute built on in-repo BDD and
+tree-automata libraries) that checks data-race-freeness and transformation
+correctness — fusion and parallelization — automatically.
+
+Quickstart::
+
+    from repro import parse_program, check_data_race
+
+    prog = parse_program(SOURCE, name="mine")
+    result = check_data_race(prog)
+    print(result.verdict)          # "race-free" or "race"
+
+See ``examples/`` for full scenarios and DESIGN.md for the architecture.
+"""
+
+from .core.api import VerificationResult, check_data_race, check_equivalence
+from .core.transform import (
+    correspondence_by_key,
+    parallelize_entry,
+    sequentialize_entry,
+)
+from .interp.interpreter import run
+from .lang.parser import parse_program
+from .lang.printer import program_source
+from .lang.validate import validate
+from .trees.heap import Tree, TreeNode, nil, node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VerificationResult",
+    "check_data_race",
+    "check_equivalence",
+    "correspondence_by_key",
+    "parallelize_entry",
+    "sequentialize_entry",
+    "run",
+    "parse_program",
+    "program_source",
+    "validate",
+    "Tree",
+    "TreeNode",
+    "nil",
+    "node",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""A small QF_LIA decision procedure (the paper's SMT substrate)."""
+
+from .cases import NonLinearError, bexpr_to_dnf, linearize_aexpr
+from .linexpr import EQ, GE, GT, Constraint, LinTerm
+from .solver import SatResult, check_sat, is_satisfiable
+
+__all__ = [
+    "NonLinearError", "bexpr_to_dnf", "linearize_aexpr",
+    "EQ", "GE", "GT", "Constraint", "LinTerm",
+    "SatResult", "check_sat", "is_satisfiable",
+]

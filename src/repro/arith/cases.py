@@ -1,0 +1,141 @@
+"""Lowering Retreet expressions to linear-arithmetic case splits.
+
+``Max``/``Min`` and boolean structure are eliminated disjunctively: the
+result is a DNF whose disjuncts are conjunctions of :class:`Constraint`.
+Satisfiability of the original condition is then "some disjunct satisfiable",
+which composes with the conjunctive LIA solver.
+
+Variable naming is delegated to the caller through ``name_of``: it flattens
+Retreet Int variables and field reads (``('field', directions, fieldname)``)
+into solver variable names, letting the core layer implement the paper's
+scoping (per-record parameters, shared per-node fields).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..lang import ast as A
+from .linexpr import EQ, GE, GT, Constraint, LinTerm
+
+__all__ = ["linearize_aexpr", "bexpr_to_dnf", "NonLinearError"]
+
+NameOf = Callable[[object], str]
+ResolveNil = Callable[[A.LExpr], Optional[bool]]
+
+
+class NonLinearError(ValueError):
+    """Raised when an expression falls outside the linear fragment."""
+
+
+def linearize_aexpr(
+    e: A.AExpr, name_of: NameOf
+) -> List[Tuple[LinTerm, List[Constraint]]]:
+    """All linear cases of ``e``: pairs ``(term, side_conditions)`` such that
+    ``e == term`` whenever the side conditions hold, and the side conditions
+    cover all of Z^n."""
+    if isinstance(e, A.Const):
+        return [(LinTerm.constant(e.value), [])]
+    if isinstance(e, A.Var):
+        return [(LinTerm.var(name_of(e.name)), [])]
+    if isinstance(e, A.FieldRead):
+        key = ("field", e.loc.directions(), e.fieldname)
+        return [(LinTerm.var(name_of(key)), [])]
+    if isinstance(e, (A.Add, A.Sub)):
+        out = []
+        for lt, lc in linearize_aexpr(e.left, name_of):
+            for rt, rc in linearize_aexpr(e.right, name_of):
+                term = lt + rt if isinstance(e, A.Add) else lt - rt
+                out.append((term, lc + rc))
+        return out
+    if isinstance(e, A.Neg):
+        return [
+            (t.scale(-1), c) for t, c in linearize_aexpr(e.expr, name_of)
+        ]
+    if isinstance(e, (A.Max, A.Min)):
+        arg_cases = [linearize_aexpr(a, name_of) for a in e.args]
+        out = []
+        # Case: argument i is the extremum.
+        for i in range(len(e.args)):
+            for ti, ci in arg_cases[i]:
+                combos: List[Tuple[List[Constraint], List[LinTerm]]] = [
+                    (list(ci), [])
+                ]
+                for j in range(len(e.args)):
+                    if j == i:
+                        continue
+                    nxt = []
+                    for conds, _ in combos:
+                        for tj, cj in arg_cases[j]:
+                            gap = (
+                                ti - tj if isinstance(e, A.Max) else tj - ti
+                            )
+                            nxt.append((conds + cj + [Constraint(gap, GE)], []))
+                    combos = nxt
+                for conds, _ in combos:
+                    out.append((ti, conds))
+        return out
+    raise NonLinearError(f"cannot linearize {e!r}")
+
+
+def bexpr_to_dnf(
+    b: A.BExpr,
+    polarity: bool,
+    name_of: NameOf,
+    resolve_nil: Optional[ResolveNil] = None,
+) -> List[List[Constraint]]:
+    """DNF of ``b == polarity`` as constraint conjunctions.
+
+    ``resolve_nil`` decides structural nil-atoms; if unset (or it returns
+    ``None``) a nil atom raises :class:`NonLinearError` — callers must
+    pre-split structural conditions.
+    """
+    if isinstance(b, A.BTrue):
+        return [[]] if polarity else []
+    if isinstance(b, A.IsNil):
+        val = resolve_nil(b.loc) if resolve_nil else None
+        if val is None:
+            raise NonLinearError(f"unresolved nil test {b}")
+        return [[]] if val == polarity else []
+    if isinstance(b, A.Gt):
+        out = []
+        for t, side in linearize_aexpr(b.expr, name_of):
+            atom = Constraint(t, GT) if polarity else Constraint(t.scale(-1), GE)
+            out.append(side + [atom])
+        return out
+    if isinstance(b, A.Eq0):
+        out = []
+        for t, side in linearize_aexpr(b.expr, name_of):
+            if polarity:
+                out.append(side + [Constraint(t, EQ)])
+            else:
+                out.append(side + [Constraint(t, GT)])
+                out.append(side + [Constraint(t.scale(-1), GT)])
+        return out
+    if isinstance(b, A.Not):
+        return bexpr_to_dnf(b.expr, not polarity, name_of, resolve_nil)
+    if isinstance(b, A.BAnd):
+        if polarity:
+            return _cross(
+                bexpr_to_dnf(b.left, True, name_of, resolve_nil),
+                bexpr_to_dnf(b.right, True, name_of, resolve_nil),
+            )
+        return bexpr_to_dnf(b.left, False, name_of, resolve_nil) + bexpr_to_dnf(
+            b.right, False, name_of, resolve_nil
+        )
+    if isinstance(b, A.BOr):
+        if polarity:
+            return bexpr_to_dnf(b.left, True, name_of, resolve_nil) + bexpr_to_dnf(
+                b.right, True, name_of, resolve_nil
+            )
+        return _cross(
+            bexpr_to_dnf(b.left, False, name_of, resolve_nil),
+            bexpr_to_dnf(b.right, False, name_of, resolve_nil),
+        )
+    raise TypeError(f"unknown BExpr {b!r}")
+
+
+def _cross(
+    a: List[List[Constraint]], b: List[List[Constraint]]
+) -> List[List[Constraint]]:
+    return [x + y for x in a for y in b]

@@ -1,0 +1,140 @@
+"""Linear expressions and constraints over named integer variables.
+
+This is the arithmetic substrate for path-condition feasibility and the
+``ConsistentCondSet`` computation (paper §4): conjunctions of linear
+(in)equalities over Int parameters, speculative return ghosts and field
+reads.  ``Max``/``Min`` terms are eliminated upstream by disjunctive case
+splitting (:func:`repro.arith.cases.linearize_aexpr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["LinTerm", "Constraint", "GE", "GT", "EQ"]
+
+
+@dataclass(frozen=True)
+class LinTerm:
+    """``sum(coeffs[v] * v) + const`` with exact rational coefficients."""
+
+    coeffs: Tuple[Tuple[str, Fraction], ...] = ()
+    const: Fraction = Fraction(0)
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def of(coeffs: Mapping[str, object] = (), const: object = 0) -> "LinTerm":
+        items = tuple(
+            sorted(
+                (v, Fraction(c))
+                for v, c in (coeffs.items() if hasattr(coeffs, "items") else coeffs)
+                if Fraction(c) != 0
+            )
+        )
+        return LinTerm(items, Fraction(const))
+
+    @staticmethod
+    def var(name: str) -> "LinTerm":
+        return LinTerm(((name, Fraction(1)),), Fraction(0))
+
+    @staticmethod
+    def constant(v: object) -> "LinTerm":
+        return LinTerm((), Fraction(v))
+
+    # -- views ----------------------------------------------------------------
+    def coeff(self, name: str) -> Fraction:
+        for v, c in self.coeffs:
+            if v == name:
+                return c
+        return Fraction(0)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    # -- arithmetic -------------------------------------------------------------
+    def __add__(self, other: "LinTerm") -> "LinTerm":
+        d: Dict[str, Fraction] = dict(self.coeffs)
+        for v, c in other.coeffs:
+            d[v] = d.get(v, Fraction(0)) + c
+        return LinTerm.of(d, self.const + other.const)
+
+    def __sub__(self, other: "LinTerm") -> "LinTerm":
+        return self + other.scale(-1)
+
+    def scale(self, k: object) -> "LinTerm":
+        kf = Fraction(k)
+        if kf == 0:
+            return LinTerm.constant(0)
+        return LinTerm(
+            tuple((v, c * kf) for v, c in self.coeffs), self.const * kf
+        )
+
+    def substitute(self, name: str, replacement: "LinTerm") -> "LinTerm":
+        """Replace variable ``name`` with a linear term."""
+        c = self.coeff(name)
+        if c == 0:
+            return self
+        rest = LinTerm(
+            tuple((v, k) for v, k in self.coeffs if v != name), self.const
+        )
+        return rest + replacement.scale(c)
+
+    def evaluate(self, model: Mapping[str, object]) -> Fraction:
+        total = self.const
+        for v, c in self.coeffs:
+            total += c * Fraction(model[v])
+        return total
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in self.coeffs]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+GE, GT, EQ = ">=", ">", "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``term op 0`` with op in {>=, >, ==}."""
+
+    term: LinTerm
+    op: str = GE
+
+    def __post_init__(self) -> None:
+        if self.op not in (GE, GT, EQ):
+            raise ValueError(f"bad op {self.op!r}")
+
+    def negated(self) -> Tuple["Constraint", ...]:
+        """The negation as a disjunction of constraints.
+
+        * ``!(t >= 0)``  ->  ``-t > 0``
+        * ``!(t > 0)``   ->  ``-t >= 0``
+        * ``!(t == 0)``  ->  ``t > 0`` or ``-t > 0``
+        """
+        if self.op == GE:
+            return (Constraint(self.term.scale(-1), GT),)
+        if self.op == GT:
+            return (Constraint(self.term.scale(-1), GE),)
+        return (
+            Constraint(self.term, GT),
+            Constraint(self.term.scale(-1), GT),
+        )
+
+    def holds(self, model: Mapping[str, object]) -> bool:
+        v = self.term.evaluate(model)
+        if self.op == GE:
+            return v >= 0
+        if self.op == GT:
+            return v > 0
+        return v == 0
+
+    def __str__(self) -> str:
+        return f"{self.term} {self.op} 0"

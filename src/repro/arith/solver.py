@@ -1,0 +1,202 @@
+"""Satisfiability of conjunctions of linear integer constraints.
+
+Decision procedure:
+
+1. normalize (over integers, ``t > 0`` becomes ``t - 1 >= 0``; equalities
+   become two inequalities);
+2. Fourier–Motzkin elimination decides *rational* feasibility and yields a
+   rational sample point by back-substitution;
+3. branch-and-bound on fractional coordinates restores integer completeness
+   (bounded by ``max_branch_depth``; on exhaustion the verdict is the sound
+   over-approximation ``SAT_UNKNOWN``, treated as satisfiable by clients —
+   extra consistent condition sets can only *add* behaviours, never mask a
+   race or conflict).
+
+The systems arising from Retreet path conditions are tiny (a handful of
+variables, unit-like coefficients), so this pure-Python procedure is
+effectively instant; the branch depth limit exists for pathological inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .linexpr import EQ, GE, GT, Constraint, LinTerm
+
+__all__ = ["SatResult", "check_sat", "is_satisfiable"]
+
+SAT, UNSAT, SAT_UNKNOWN = "sat", "unsat", "unknown"
+
+
+@dataclass
+class SatResult:
+    status: str  # sat | unsat | unknown
+    model: Optional[Dict[str, int]] = None
+
+    @property
+    def possibly_sat(self) -> bool:
+        """Sound over-approximation used by consistency computations."""
+        return self.status != UNSAT
+
+
+def _normalize(constraints: Iterable[Constraint]) -> Optional[List[LinTerm]]:
+    """To a list of ``t >= 0`` over integer coefficients; None if trivially
+    UNSAT on a constant constraint."""
+    out: List[LinTerm] = []
+
+    def push(term: LinTerm) -> bool:
+        # Scale to integer coefficients.
+        denoms = [c.denominator for _, c in term.coeffs] + [term.const.denominator]
+        lcm = math.lcm(*denoms) if denoms else 1
+        term = term.scale(lcm)
+        if term.is_constant:
+            return term.const >= 0
+        out.append(term)
+        return True
+
+    for c in constraints:
+        if c.op == GE:
+            ok = push(c.term)
+        elif c.op == GT:
+            # over integers t > 0  <=>  t - 1 >= 0 (after integer scaling the
+            # strictness gap of 1 is valid because t takes integer values).
+            denoms = [k.denominator for _, k in c.term.coeffs] + [
+                c.term.const.denominator
+            ]
+            lcm = math.lcm(*denoms) if denoms else 1
+            t = c.term.scale(lcm)
+            ok = push(t - LinTerm.constant(1))
+        else:  # EQ
+            ok = push(c.term) and push(c.term.scale(-1))
+        if not ok:
+            return None
+    return out
+
+
+def _fm_eliminate(
+    rows: List[LinTerm], order: Sequence[str]
+) -> Optional[List[Tuple[str, List[LinTerm], List[LinTerm]]]]:
+    """Fourier–Motzkin elimination.
+
+    Returns, per eliminated variable, its lower-bound and upper-bound rows
+    (in terms of later variables) for back-substitution — or ``None`` when a
+    constant contradiction appears (rationally UNSAT).
+    """
+    bounds: List[Tuple[str, List[LinTerm], List[LinTerm]]] = []
+    current = list(rows)
+    for v in order:
+        lowers: List[LinTerm] = []  # v >= expr   (from c*v + rest >= 0, c>0)
+        uppers: List[LinTerm] = []  # v <= expr
+        rest: List[LinTerm] = []
+        for t in current:
+            c = t.coeff(v)
+            if c == 0:
+                rest.append(t)
+            elif c > 0:
+                # v >= -(rest)/c
+                lowers.append(
+                    LinTerm(
+                        tuple((w, -k / c) for w, k in t.coeffs if w != v),
+                        -t.const / c,
+                    )
+                )
+            else:
+                uppers.append(
+                    LinTerm(
+                        tuple((w, -k / c) for w, k in t.coeffs if w != v),
+                        -t.const / c,
+                    )
+                )
+        # Cross products: lower <= upper.
+        for lo in lowers:
+            for hi in uppers:
+                diff = hi - lo
+                if diff.is_constant:
+                    if diff.const < 0:
+                        return None
+                else:
+                    rest.append(diff)
+        bounds.append((v, lowers, uppers))
+        current = rest
+    # Remaining rows are constant.
+    for t in current:
+        if t.is_constant and t.const < 0:
+            return None
+        if not t.is_constant:  # pragma: no cover - order covers all vars
+            raise AssertionError("unexpected residual variables")
+    return bounds
+
+
+def _back_substitute(
+    bounds: List[Tuple[str, List[LinTerm], List[LinTerm]]]
+) -> Dict[str, Fraction]:
+    """Pick a rational point satisfying the eliminated system, preferring
+    integral coordinates."""
+    model: Dict[str, Fraction] = {}
+    for v, lowers, uppers in reversed(bounds):
+        lo = max((t.evaluate(model) for t in lowers), default=None)
+        hi = min((t.evaluate(model) for t in uppers), default=None)
+        if lo is None and hi is None:
+            model[v] = Fraction(0)
+        elif lo is None:
+            model[v] = Fraction(math.floor(hi))
+        elif hi is None:
+            model[v] = Fraction(math.ceil(lo))
+        else:
+            # Prefer an integer point in [lo, hi] when one exists.
+            k = math.ceil(lo)
+            model[v] = Fraction(k) if k <= hi else (lo + hi) / 2
+    return model
+
+
+def check_sat(
+    constraints: Sequence[Constraint],
+    max_branch_depth: int = 24,
+) -> SatResult:
+    """Decide integer satisfiability of a conjunction of constraints."""
+    rows = _normalize(constraints)
+    if rows is None:
+        return SatResult(UNSAT)
+    variables = sorted({v for t in rows for v in t.variables})
+    if not variables:
+        return SatResult(SAT, {})
+    return _solve(rows, variables, max_branch_depth)
+
+
+def _solve(
+    rows: List[LinTerm], variables: List[str], depth: int
+) -> SatResult:
+    bounds = _fm_eliminate(rows, variables)
+    if bounds is None:
+        return SatResult(UNSAT)
+    model = _back_substitute(bounds)
+    frac = [(v, val) for v, val in model.items() if val.denominator != 1]
+    if not frac:
+        return SatResult(SAT, {v: int(val) for v, val in model.items()})
+    if depth <= 0:
+        return SatResult(SAT_UNKNOWN)
+    # Branch on the first fractional coordinate.
+    v, val = frac[0]
+    lo_branch = rows + [
+        LinTerm(((v, Fraction(-1)),), Fraction(math.floor(val)))  # floor(val) - v >= 0
+    ]
+    r = _solve(lo_branch, variables, depth - 1)
+    if r.status == SAT:
+        return r
+    hi_branch = rows + [
+        LinTerm(((v, Fraction(1)),), -Fraction(math.ceil(val)))  # v - ceil(val) >= 0
+    ]
+    r2 = _solve(hi_branch, variables, depth - 1)
+    if r2.status == SAT:
+        return r2
+    if r.status == SAT_UNKNOWN or r2.status == SAT_UNKNOWN:
+        return SatResult(SAT_UNKNOWN)
+    return SatResult(UNSAT)
+
+
+def is_satisfiable(constraints: Sequence[Constraint]) -> bool:
+    """Sound boolean view: unknown counts as satisfiable."""
+    return check_sat(constraints).possibly_sat

@@ -1,0 +1,13 @@
+"""Symbolic bottom-up tree automata (the MONA-substitute's engine room)."""
+
+from .determinize import StateBudgetExceeded, determinize
+from .emptiness import Witness, find_witness, is_empty
+from .minimize import minimize, prune_unreachable
+from .tta import TrackRegistry, TreeAutomaton, split_guards
+
+__all__ = [
+    "StateBudgetExceeded", "determinize",
+    "Witness", "find_witness", "is_empty",
+    "minimize", "prune_unreachable",
+    "TrackRegistry", "TreeAutomaton", "split_guards",
+]

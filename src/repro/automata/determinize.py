@@ -1,0 +1,85 @@
+"""Symbolic subset construction for bottom-up tree automata."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .tta import TreeAutomaton, split_guards
+
+__all__ = ["determinize"]
+
+
+def determinize(
+    a: TreeAutomaton, max_states: int = 200_000, deadline=None
+) -> TreeAutomaton:
+    """Equivalent deterministic, complete automaton (subset construction).
+
+    Guards of a subset state's outgoing transitions partition the label
+    space, so the result is complete by construction (the empty subset acts
+    as the sink).  ``max_states`` bounds the blow-up; exceeding it raises
+    ``StateBudgetExceeded`` so callers can fall back to the bounded engine.
+    """
+    mgr = a.manager
+    index: Dict[FrozenSet[int], int] = {}
+    order: List[FrozenSet[int]] = []
+
+    def state(s: FrozenSet[int]) -> int:
+        if s not in index:
+            if len(index) >= max_states:
+                raise StateBudgetExceeded(
+                    f"determinization exceeded {max_states} states"
+                )
+            index[s] = len(index)
+            order.append(s)
+        return index[s]
+
+    leaf = [
+        (g, state(s)) for g, s in split_guards(mgr, a.leaf)
+    ]
+    delta: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    done = set()
+    changed = True
+    while changed:
+        changed = False
+        current = list(order)
+        if deadline is not None:
+            import time
+
+            if time.perf_counter() > deadline:
+                raise StateBudgetExceeded("determinization deadline exceeded")
+        for sl in current:
+            for sr in current:
+                key = (index[sl], index[sr])
+                if key in done:
+                    continue
+                done.add(key)
+                pairs = []
+                for ql in sl:
+                    for qr in sr:
+                        pairs.extend(a.delta.get((ql, qr), ()))
+                entries = []
+                for g, s in split_guards(mgr, pairs):
+                    known = s in index
+                    entries.append((g, state(s)))
+                    if not known:
+                        changed = True
+                delta[key] = entries
+        if len(order) > len(current):
+            changed = True
+    accepting = frozenset(
+        idx for s, idx in index.items() if s & a.accepting
+    )
+    return TreeAutomaton(
+        registry=a.registry,
+        tracks=a.tracks,
+        n_states=len(index),
+        leaf=leaf,
+        delta=delta,
+        accepting=accepting,
+        deterministic=True,
+        complete=True,
+    )
+
+
+class StateBudgetExceeded(RuntimeError):
+    """Raised when a construction exceeds its state budget."""

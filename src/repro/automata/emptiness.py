@@ -1,0 +1,103 @@
+"""Emptiness test and witness-tree extraction for tree automata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..trees.heap import Tree, TreeNode, nil, node
+from .tta import TreeAutomaton
+
+__all__ = ["Witness", "find_witness", "is_empty"]
+
+
+@dataclass
+class Witness:
+    """A labelled tree accepted by the automaton.
+
+    ``labels`` maps each track name to the set of node paths carrying the
+    bit.  ``tree`` is the underlying shape (with explicit nil leaves).
+    """
+
+    tree: Tree
+    labels: Dict[str, FrozenSet[str]]
+
+    def nodes_with(self, track: str) -> FrozenSet[str]:
+        return self.labels.get(track, frozenset())
+
+    def render(self) -> str:
+        lines = [self.tree.render()]
+        for t in sorted(self.labels):
+            if self.labels[t]:
+                lines.append(
+                    f"  {t}: {sorted(p or 'root' for p in self.labels[t])}"
+                )
+        return "\n".join(lines)
+
+
+# Internally a witness per state is (cube, left_state, right_state) where
+# cube is a {level: bool} partial assignment for the node's label bits.
+_Entry = Tuple[Dict[int, bool], Optional[int], Optional[int]]
+
+
+def _saturate(a: TreeAutomaton) -> Dict[int, _Entry]:
+    mgr = a.manager
+    table: Dict[int, _Entry] = {}
+    for g, q in a.leaf:
+        if q not in table:
+            cube = mgr.pick_cube(g)
+            if cube is not None:
+                table[q] = (cube, None, None)
+    changed = True
+    while changed:
+        changed = False
+        for (ql, qr), entries in a.delta.items():
+            if ql not in table or qr not in table:
+                continue
+            for g, q in entries:
+                if q in table:
+                    continue
+                cube = mgr.pick_cube(g)
+                if cube is None:
+                    continue
+                table[q] = (cube, ql, qr)
+                changed = True
+    return table
+
+
+def is_empty(a: TreeAutomaton) -> bool:
+    """True iff the automaton accepts no labelled tree."""
+    table = _saturate(a)
+    return not any(q in table for q in a.accepting)
+
+
+def find_witness(a: TreeAutomaton) -> Optional[Witness]:
+    """A smallest-ish accepted labelled tree, or None when empty."""
+    table = _saturate(a)
+    target = next((q for q in a.accepting if q in table), None)
+    if target is None:
+        return None
+    labels: Dict[str, set] = {t: set() for t in a.tracks}
+    level_to_name = {
+        a.registry.level(t): t for t in a.tracks
+    }
+
+    def build(q: int, path: str) -> TreeNode:
+        cube, ql, qr = table[q]
+        for lvl, val in cube.items():
+            if val and lvl in level_to_name:
+                labels[level_to_name[lvl]].add(path)
+        if ql is None:
+            return nil_with_path(path)
+        left = build(ql, path + "l")
+        right = build(qr, path + "r")  # type: ignore[arg-type]
+        return node(left, right)
+
+    def nil_with_path(path: str) -> TreeNode:
+        return nil()
+
+    root = build(target, "")
+    return Witness(
+        tree=Tree(root),
+        labels={t: frozenset(s) for t, s in labels.items()},
+    )

@@ -1,0 +1,9 @@
+"""Baseline dependence analyses (prior-work stand-ins for benchmarks)."""
+
+from .coarse import CoarseAnalysis, TraversalSummary
+from .syntactic import fields_mentioned, syntactic_parallel_ok
+
+__all__ = [
+    "CoarseAnalysis", "TraversalSummary",
+    "fields_mentioned", "syntactic_parallel_ok",
+]

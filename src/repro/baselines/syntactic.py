@@ -1,0 +1,51 @@
+"""Naive syntactic parallelization check (strawman baseline).
+
+The weakest credible baseline: two traversals may run in parallel iff the
+*texts* of their bodies mention disjoint field names.  No recursion
+analysis, no read/write distinction.  Used in the benchmarks to bracket the
+precision spectrum: syntactic < coarse (TreeFuser-style) < Retreet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..lang import ast as A
+from ..lang.blocks import BlockTable
+from ..lang.exprs import aexpr_field_reads, bexpr_field_reads
+
+__all__ = ["fields_mentioned", "syntactic_parallel_ok"]
+
+
+def fields_mentioned(program: A.Program, fname: str) -> Set[str]:
+    """Every field name appearing anywhere in the function (and only that
+    function — no closure; this baseline does not model recursion)."""
+    table = BlockTable(program)
+    out: Set[str] = set()
+    for b in table.blocks_of(fname):
+        stmt = b.stmt
+        if isinstance(stmt, A.CallStmt):
+            for a in stmt.args:
+                out |= {f for _, f in aexpr_field_reads(a)}
+        else:
+            for a in stmt.assigns:
+                if isinstance(a, A.FieldAssign):
+                    out.add(a.fieldname)
+                    out |= {f for _, f in aexpr_field_reads(a.expr)}
+                elif isinstance(a, A.VarAssign):
+                    out |= {f for _, f in aexpr_field_reads(a.expr)}
+                else:
+                    for e in a.exprs:
+                        out |= {f for _, f in aexpr_field_reads(e)}
+    for c in table.conds_of(fname):
+        out |= {f for _, f in bexpr_field_reads(c.cond)}
+    return out
+
+
+def syntactic_parallel_ok(
+    program: A.Program, f: str, g: str
+) -> Tuple[bool, List[str]]:
+    shared = fields_mentioned(program, f) & fields_mentioned(program, g)
+    if shared:
+        return False, [f"shared field {s!r}" for s in sorted(shared)]
+    return True, []

@@ -1,0 +1,5 @@
+"""Hash-consed reduced ordered binary decision diagrams."""
+
+from .bdd import BDDManager
+
+__all__ = ["BDDManager"]

@@ -1,0 +1,268 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The symbolic backbone of the tree-automata library: transition guards over
+the node-label alphabet {0,1}^k are BDDs, so automata scale with the number
+of *states*, not with 2^k alphabet entries — the same architectural choice
+MONA makes.
+
+Implementation notes (pure Python, tuned per the HPC guides' "algorithmic
+optimization first" rule):
+
+* nodes are hash-consed into a single manager; a node is an ``int`` index,
+  terminals are ``0`` and ``1``;
+* ``apply`` / ``ite`` / ``exists`` are memoized per manager;
+* variables are integer *levels*; the caller (the automata layer) maps track
+  names to levels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDDManager"]
+
+FALSE = 0
+TRUE = 1
+
+
+class BDDManager:
+    """A shared store of hash-consed BDD nodes."""
+
+    def __init__(self) -> None:
+        # node idx -> (level, lo, hi); indices 0/1 are terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, frozenset], int] = {}
+        self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
+
+    # -- node plumbing ---------------------------------------------------------
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        idx = self._unique.get(key)
+        if idx is None:
+            idx = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = idx
+        return idx
+
+    def level(self, u: int) -> int:
+        return self._nodes[u][0]
+
+    def node(self, u: int) -> Tuple[int, int, int]:
+        return self._nodes[u]
+
+    @property
+    def true(self) -> int:
+        return TRUE
+
+    @property
+    def false(self) -> int:
+        return FALSE
+
+    def var(self, level: int) -> int:
+        """The BDD of "bit at ``level`` is 1"."""
+        return self._mk(level, FALSE, TRUE)
+
+    def nvar(self, level: int) -> int:
+        return self._mk(level, TRUE, FALSE)
+
+    def size(self) -> int:
+        return len(self._nodes)
+
+    # -- boolean operations -------------------------------------------------------
+    def apply_and(self, u: int, v: int) -> int:
+        if u == FALSE or v == FALSE:
+            return FALSE
+        if u == TRUE:
+            return v
+        if v == TRUE:
+            return u
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        r = self._and_cache.get(key)
+        if r is not None:
+            return r
+        lu, lou, hiu = self._nodes[u]
+        lv, lov, hiv = self._nodes[v]
+        if lu == lv:
+            lo = self.apply_and(lou, lov)
+            hi = self.apply_and(hiu, hiv)
+            lvl = lu
+        elif lu < lv:
+            lo = self.apply_and(lou, v)
+            hi = self.apply_and(hiu, v)
+            lvl = lu
+        else:
+            lo = self.apply_and(u, lov)
+            hi = self.apply_and(u, hiv)
+            lvl = lv
+        r = self._mk(lvl, lo, hi)
+        self._and_cache[key] = r
+        return r
+
+    def apply_or(self, u: int, v: int) -> int:
+        if u == TRUE or v == TRUE:
+            return TRUE
+        if u == FALSE:
+            return v
+        if v == FALSE:
+            return u
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        r = self._or_cache.get(key)
+        if r is not None:
+            return r
+        lu, lou, hiu = self._nodes[u]
+        lv, lov, hiv = self._nodes[v]
+        if lu == lv:
+            lo = self.apply_or(lou, lov)
+            hi = self.apply_or(hiu, hiv)
+            lvl = lu
+        elif lu < lv:
+            lo = self.apply_or(lou, v)
+            hi = self.apply_or(hiu, v)
+            lvl = lu
+        else:
+            lo = self.apply_or(u, lov)
+            hi = self.apply_or(u, hiv)
+            lvl = lv
+        r = self._mk(lvl, lo, hi)
+        self._or_cache[key] = r
+        return r
+
+    def apply_not(self, u: int) -> int:
+        if u == FALSE:
+            return TRUE
+        if u == TRUE:
+            return FALSE
+        r = self._not_cache.get(u)
+        if r is not None:
+            return r
+        lvl, lo, hi = self._nodes[u]
+        r = self._mk(lvl, self.apply_not(lo), self.apply_not(hi))
+        self._not_cache[u] = r
+        return r
+
+    def apply_diff(self, u: int, v: int) -> int:
+        """u AND NOT v."""
+        return self.apply_and(u, self.apply_not(v))
+
+    def ite(self, c: int, t: int, e: int) -> int:
+        return self.apply_or(self.apply_and(c, t), self.apply_and(self.apply_not(c), e))
+
+    def conj(self, items: Sequence[int]) -> int:
+        r = TRUE
+        for u in items:
+            r = self.apply_and(r, u)
+            if r == FALSE:
+                return FALSE
+        return r
+
+    def disj(self, items: Sequence[int]) -> int:
+        r = FALSE
+        for u in items:
+            r = self.apply_or(r, u)
+            if r == TRUE:
+                return TRUE
+        return r
+
+    # -- cofactors / quantification -------------------------------------------------
+    def restrict(self, u: int, level: int, value: bool) -> int:
+        if u <= TRUE:
+            return u
+        key = (u, level, value)
+        r = self._restrict_cache.get(key)
+        if r is not None:
+            return r
+        lvl, lo, hi = self._nodes[u]
+        if lvl > level:
+            r = u
+        elif lvl == level:
+            r = hi if value else lo
+        else:
+            r = self._mk(
+                lvl,
+                self.restrict(lo, level, value),
+                self.restrict(hi, level, value),
+            )
+        self._restrict_cache[key] = r
+        return r
+
+    def exists(self, u: int, levels: frozenset) -> int:
+        """Existentially quantify the given levels out of ``u``."""
+        if u <= TRUE or not levels:
+            return u
+        key = (u, levels)
+        r = self._exists_cache.get(key)
+        if r is not None:
+            return r
+        lvl, lo, hi = self._nodes[u]
+        elo = self.exists(lo, levels)
+        ehi = self.exists(hi, levels)
+        if lvl in levels:
+            r = self.apply_or(elo, ehi)
+        else:
+            r = self._mk(lvl, elo, ehi)
+        self._exists_cache[key] = r
+        return r
+
+    # -- evaluation / models -----------------------------------------------------------
+    def evaluate(self, u: int, assignment: Callable[[int], bool]) -> bool:
+        while u > TRUE:
+            lvl, lo, hi = self._nodes[u]
+            u = hi if assignment(lvl) else lo
+        return u == TRUE
+
+    def support(self, u: int) -> frozenset:
+        out = set()
+        seen = set()
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            if n <= TRUE or n in seen:
+                continue
+            seen.add(n)
+            lvl, lo, hi = self._nodes[n]
+            out.add(lvl)
+            stack.append(lo)
+            stack.append(hi)
+        return frozenset(out)
+
+    def pick_cube(self, u: int) -> Optional[Dict[int, bool]]:
+        """One satisfying partial assignment (level -> bool), or None."""
+        if u == FALSE:
+            return None
+        cube: Dict[int, bool] = {}
+        while u > TRUE:
+            lvl, lo, hi = self._nodes[u]
+            if hi != FALSE:
+                cube[lvl] = True
+                u = hi
+            else:
+                cube[lvl] = False
+                u = lo
+        return cube
+
+    def iter_cubes(self, u: int) -> Iterator[Dict[int, bool]]:
+        """All satisfying partial assignments (disjoint cubes)."""
+        if u == FALSE:
+            return
+        if u == TRUE:
+            yield {}
+            return
+        lvl, lo, hi = self._nodes[u]
+        for sub in self.iter_cubes(lo):
+            yield {lvl: False, **sub}
+        for sub in self.iter_cubes(hi):
+            yield {lvl: True, **sub}

@@ -1,0 +1,5 @@
+"""The paper's four case studies (§5), as Retreet programs + substrates."""
+
+from . import css, cycletree, sizecount, treemutation
+
+__all__ = ["css", "cycletree", "sizecount", "treemutation"]

@@ -1,0 +1,261 @@
+"""Case study 4: cycletree construction and routing (paper Fig. 9, T1.6/T1.7).
+
+Cycletrees (Veanes & Barklund) are binary trees extended with edges forming
+a Hamiltonian cycle; the cyclic order is computed by a *mutually recursive*
+quadruple of traversals (``RootMode``/``PreMode``/``InMode``/``PostMode``)
+that number the nodes in the cycle order, and ``ComputeRouting`` computes
+per-node routing intervals (min/max cycle numbers per subtree) in a
+post-order pass.
+
+The paper verifies:
+
+* **T1.6** the numbering and routing traversals fuse into a single pass —
+  the hardest query in the evaluation (MONA: 490.55 s);
+* **T1.7** running them *in parallel* races: ``ComputeRouting`` reads
+  ``n.num`` concurrently with the mode traversals writing it (MONA finds the
+  counterexample in 0.95 s; the paper confirms it is a true positive — our
+  framework replays it on the interpreter automatically).
+
+The Retreet programs below follow Fig. 9, with the child-interval
+assignments guarded by nil tests (Fig. 9 elides the guards).  The concrete
+cycletree substrate — actual cycle construction and routing over it — lives
+in :mod:`repro.trees.cycletree` and is cross-checked against these programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..lang import ast as A
+from ..lang.parser import parse_program
+
+__all__ = [
+    "sequential_program",
+    "parallel_program",
+    "fused_program",
+    "fusion_correspondence",
+    "FIELDS",
+]
+
+FIELDS = ("num", "lmin", "rmin", "lmax", "rmax", "min", "max")
+
+_MODES = """
+RootMode(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    n.num = number;
+    a = PreMode(n.l, number + 1);
+    b = PostMode(n.r, number + 1);
+    return 0
+  }
+}
+
+PreMode(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    n.num = number;
+    a = PreMode(n.l, number + 1);
+    b = InMode(n.r, number + 1);
+    return 0
+  }
+}
+
+InMode(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    a = PostMode(n.l, number);
+    n.num = number;
+    b = PreMode(n.r, number + 1);
+    return 0
+  }
+}
+
+PostMode(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    a = InMode(n.l, number);
+    b = PostMode(n.r, number);
+    n.num = number;
+    return 0
+  }
+}
+"""
+
+_ROUTING = """
+ComputeRouting(n) {
+  if (n == nil) { return 0 }
+  else {
+    a = ComputeRouting(n.l);
+    b = ComputeRouting(n.r);
+    if (n.l == nil) {
+      n.lmin = n.num;
+      n.lmax = n.num
+    } else {
+      n.lmin = n.l.min;
+      n.lmax = n.l.max
+    };
+    if (n.r == nil) {
+      n.rmin = n.num;
+      n.rmax = n.num
+    } else {
+      n.rmin = n.r.min;
+      n.rmax = n.r.max
+    };
+    n.max = max(n.lmax, n.rmax, n.num);
+    n.min = min(n.lmin, n.rmin, n.num);
+    return 0
+  }
+}
+"""
+
+_SEQ_MAIN = """
+Main(n) {
+  a = RootMode(n, 0);
+  b = ComputeRouting(n);
+  return 0
+}
+"""
+
+_PAR_MAIN = """
+Main(n) {
+  { a = RootMode(n, 0) || b = ComputeRouting(n) };
+  return 0
+}
+"""
+
+# The fused traversal: one function per mode, each writing n.num at its
+# mode's position in the cycle order and computing the routing intervals
+# after both child calls completed.
+_ROUTING_TAIL = """
+    if (n.l == nil) {
+      n.lmin = n.num;
+      n.lmax = n.num
+    } else {
+      n.lmin = n.l.min;
+      n.lmax = n.l.max
+    };
+    if (n.r == nil) {
+      n.rmin = n.num;
+      n.rmax = n.num
+    } else {
+      n.rmin = n.r.min;
+      n.rmax = n.r.max
+    };
+    n.max = max(n.lmax, n.rmax, n.num);
+    n.min = min(n.lmin, n.rmin, n.num);
+    return 0
+"""
+
+_FUSED = (
+    """
+FRoot(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    n.num = number;
+    a = FPre(n.l, number + 1);
+    b = FPost(n.r, number + 1);
+"""
+    + _ROUTING_TAIL
+    + """
+  }
+}
+
+FPre(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    n.num = number;
+    a = FPre(n.l, number + 1);
+    b = FIn(n.r, number + 1);
+"""
+    + _ROUTING_TAIL
+    + """
+  }
+}
+
+FIn(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    a = FPost(n.l, number);
+    n.num = number;
+    b = FPre(n.r, number + 1);
+"""
+    + _ROUTING_TAIL
+    + """
+  }
+}
+
+FPost(n, number) {
+  if (n == nil) { return 0 }
+  else {
+    a = FIn(n.l, number);
+    b = FPost(n.r, number);
+    n.num = number;
+"""
+    + _ROUTING_TAIL
+    + """
+  }
+}
+
+Main(n) {
+  a = FRoot(n, 0);
+  return 0
+}
+"""
+)
+
+
+def sequential_program() -> A.Program:
+    """Fig. 9: cyclic numbering, then routing (the fusion source)."""
+    return parse_program(_MODES + _ROUTING + _SEQ_MAIN, name="cycletree-seq")
+
+
+def parallel_program() -> A.Program:
+    """Numbering and routing in parallel — the racy variant of T1.7."""
+    return parse_program(_MODES + _ROUTING + _PAR_MAIN, name="cycletree-par")
+
+
+def fused_program() -> A.Program:
+    """Numbering and routing fused into one mutually recursive pass."""
+    return parse_program(_FUSED, name="cycletree-fused")
+
+
+def fusion_correspondence() -> Dict[str, Set[str]]:
+    """Non-call block correspondence sequential -> fused.
+
+    Computed from the concrete block tables (asserted in the tests):
+
+    sequential —
+      RootMode: s0 nil, s1 num-write, s4 ret; PreMode: s5 nil, s6 num, s9
+      ret; InMode: s10 nil, s12 num, s14 ret; PostMode: s15 nil, s18 num+ret;
+      ComputeRouting: s20 nil, s23..s26 child-interval blocks, s27 minmax+ret;
+      Main: s30 ret.
+    fused (per mode f in FRoot s0.., FPre s10.., FIn s20.., FPost s30..):
+      nil, num-write, 4 interval blocks, minmax+ret; Main: s41 ret.
+    """
+    return {
+        # RootMode -> FRoot
+        "s0": {"s0"},
+        "s1": {"s1"},
+        "s4": {"s8"},
+        # PreMode -> FPre
+        "s5": {"s9"},
+        "s6": {"s10"},
+        "s9": {"s17"},
+        # InMode -> FIn
+        "s10": {"s18"},
+        "s12": {"s20"},
+        "s14": {"s26"},
+        # PostMode -> FPost (the merged num+return block splits)
+        "s15": {"s27"},
+        "s18": {"s30", "s35"},
+        # ComputeRouting blocks map into every fused mode (routing runs at
+        # every node regardless of which mode numbers it).
+        "s19": {"s0", "s9", "s18", "s27"},
+        "s22": {"s4", "s13", "s22", "s31"},
+        "s23": {"s5", "s14", "s23", "s32"},
+        "s24": {"s6", "s15", "s24", "s33"},
+        "s25": {"s7", "s16", "s25", "s34"},
+        "s26": {"s8", "s17", "s26", "s35"},
+        # Main return
+        "s29": {"s37"},
+    }

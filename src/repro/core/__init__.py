@@ -1,0 +1,34 @@
+"""The Retreet reasoning framework (the paper's core contribution)."""
+
+from .api import VerificationResult, check_data_race, check_equivalence
+from .bisim import BisimResult, check_bisimulation
+from .bounded import (
+    BoundedVerdict,
+    check_conflict_bounded,
+    check_data_race_bounded,
+    default_scope,
+)
+from .configurations import (
+    Configuration,
+    ProgramModel,
+    Record,
+    enumerate_configurations,
+)
+from .readwrite import AccessSets, Cell, ReadWriteAnalysis
+from .symbolic import SymbolicVerdict, check_conflict_mso, check_data_race_mso
+from .transform import (
+    correspondence_by_key,
+    parallelize_entry,
+    sequentialize_entry,
+)
+
+__all__ = [
+    "VerificationResult", "check_data_race", "check_equivalence",
+    "BisimResult", "check_bisimulation",
+    "BoundedVerdict", "check_conflict_bounded", "check_data_race_bounded",
+    "default_scope",
+    "Configuration", "ProgramModel", "Record", "enumerate_configurations",
+    "AccessSets", "Cell", "ReadWriteAnalysis",
+    "SymbolicVerdict", "check_conflict_mso", "check_data_race_mso",
+    "correspondence_by_key", "parallelize_entry", "sequentialize_entry",
+]

@@ -1,0 +1,219 @@
+"""Top-level verification API: the Fig. 1 pipeline as two calls.
+
+``check_data_race`` (Thm 2) and ``check_equivalence`` (Thm 3) dispatch to:
+
+* the **symbolic engine** (``engine="mso"``) — the paper's MSO/automata
+  pipeline, deciding over all trees;
+* the **bounded engine** (``engine="bounded"``) — exhaustive on every tree
+  shape up to a bound;
+* ``engine="auto"`` — symbolic with a state/time budget, falling back to
+  bounded on exhaustion (the result records which engine decided).
+
+Counterexamples are automatically replayed against the concrete interpreter
+(:mod:`repro.core.witness`), automating the paper's manual true-positive
+check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Set
+
+from ..lang import ast as A
+from ..lang.validate import validate
+from ..trees.heap import Tree
+from .bisim import check_bisimulation
+from .bounded import BoundedVerdict, check_conflict_bounded, check_data_race_bounded
+from .symbolic import SymbolicVerdict, check_conflict_mso, check_data_race_mso
+from .witness import ReplayOutcome, replay_conflict, replay_race
+
+__all__ = ["VerificationResult", "check_data_race", "check_equivalence"]
+
+
+@dataclass
+class VerificationResult:
+    """Uniform result of a verification query."""
+
+    query: str
+    verdict: str  # "race-free"|"race"|"equivalent"|"not-equivalent"|"unknown"
+    engine: str  # "mso" | "bounded" | "mso+bounded"
+    elapsed: float
+    holds: bool
+    witness: Optional[object] = None
+    witness_tree: Optional[Tree] = None
+    replay: Optional[ReplayOutcome] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.replay is not None:
+            extra = f"; replay: {'confirmed' if self.replay.confirmed else 'unconfirmed'}"
+        return (
+            f"{self.query}: {self.verdict} "
+            f"[{self.engine}, {self.elapsed:.3f}s]{extra}"
+        )
+
+
+def _program_fields(program: A.Program) -> list:
+    """All field names the program touches (for replay field seeding)."""
+    from ..lang.blocks import BlockTable
+    from .readwrite import ReadWriteAnalysis
+
+    table = BlockTable(program)
+    rw = ReadWriteAnalysis(table)
+    fields = set()
+    for b in table.all_noncalls:
+        for c in rw.access(b).readwrites:
+            if c.kind == "field":
+                fields.add(c.name)
+    return sorted(fields)
+
+
+def check_data_race(
+    program: A.Program,
+    engine: str = "auto",
+    max_internal: int = 4,
+    det_budget: int = 50_000,
+    mso_deadline_s: Optional[float] = 600.0,
+    replay: bool = True,
+) -> VerificationResult:
+    """Is the program data-race-free (paper Thm 2)?"""
+    validate(program)
+    t0 = time.perf_counter()
+    details: Dict[str, object] = {}
+    used = engine
+    sym: Optional[SymbolicVerdict] = None
+    bnd: Optional[BoundedVerdict] = None
+
+    if engine in ("mso", "auto"):
+        deadline = (
+            time.perf_counter() + mso_deadline_s if mso_deadline_s else None
+        )
+        sym = check_data_race_mso(
+            program, det_budget=det_budget, deadline=deadline
+        )
+        details["mso"] = str(sym)
+        if sym.status == "decided":
+            used = "mso"
+        elif engine == "mso":
+            used = "mso"
+        else:
+            used = "mso+bounded"
+    if engine in ("bounded",) or (engine == "auto" and used == "mso+bounded"):
+        bnd = check_data_race_bounded(program, max_internal=max_internal)
+        details["bounded"] = str(bnd)
+        if engine == "bounded":
+            used = "bounded"
+
+    found, witness_tree, witness = _merge_race(sym, bnd)
+    verdict = "race" if found else "race-free"
+    if sym is not None and sym.status != "decided" and bnd is None:
+        verdict = "unknown"
+    rep = None
+    if replay and found and witness_tree is not None:
+        rep = replay_race(program, witness_tree, _program_fields(program))
+    return VerificationResult(
+        query=f"data-race({program.name})",
+        verdict=verdict,
+        engine=used,
+        elapsed=time.perf_counter() - t0,
+        holds=not found,
+        witness=witness,
+        witness_tree=witness_tree,
+        replay=rep,
+        details=details,
+    )
+
+
+def _merge_race(sym, bnd):
+    if sym is not None and sym.status == "decided":
+        tree = sym.witness.tree if (sym.found and sym.witness) else None
+        return sym.found, tree, sym.witness
+    if bnd is not None:
+        tree = bnd.witness.tree if (bnd.found and bnd.witness) else None
+        return bnd.found, tree, bnd.witness
+    if sym is not None:
+        tree = sym.witness.tree if (sym.found and sym.witness) else None
+        return sym.found, tree, sym.witness
+    return False, None, None
+
+
+def check_equivalence(
+    p: A.Program,
+    p_prime: A.Program,
+    mapping: Mapping[str, Set[str]],
+    engine: str = "auto",
+    max_internal: int = 4,
+    det_budget: int = 50_000,
+    mso_deadline_s: Optional[float] = 60.0,
+    replay: bool = True,
+    check_bisim: bool = True,
+) -> VerificationResult:
+    """Are the two programs equivalent under the block correspondence
+    (paper Thm 3: bisimilar and conflict-free)?
+
+    Precondition per the paper: both programs are data-race-free (footnote
+    7); check separately with :func:`check_data_race`.
+    """
+    validate(p)
+    validate(p_prime)
+    t0 = time.perf_counter()
+    details: Dict[str, object] = {}
+    if check_bisim:
+        bis = check_bisimulation(p, p_prime, mapping)
+        details["bisimulation"] = str(bis)
+        if not bis.bisimilar:
+            return VerificationResult(
+                query=f"equivalence({p.name} vs {p_prime.name})",
+                verdict="not-equivalent",
+                engine="bisim",
+                elapsed=time.perf_counter() - t0,
+                holds=False,
+                details=details,
+            )
+
+    used = engine
+    sym: Optional[SymbolicVerdict] = None
+    bnd: Optional[BoundedVerdict] = None
+    if engine in ("mso", "auto"):
+        deadline = (
+            time.perf_counter() + mso_deadline_s if mso_deadline_s else None
+        )
+        sym = check_conflict_mso(
+            p, p_prime, mapping, det_budget=det_budget, deadline=deadline
+        )
+        details["mso"] = str(sym)
+        if sym.status == "decided":
+            used = "mso"
+        elif engine == "mso":
+            used = "mso"
+        else:
+            used = "mso+bounded"
+    if engine == "bounded" or (engine == "auto" and used == "mso+bounded"):
+        bnd = check_conflict_bounded(
+            p, p_prime, mapping, max_internal=max_internal
+        )
+        details["bounded"] = str(bnd)
+        if engine == "bounded":
+            used = "bounded"
+
+    found, witness_tree, witness = _merge_race(sym, bnd)
+    verdict = "not-equivalent" if found else "equivalent"
+    if sym is not None and sym.status != "decided" and bnd is None:
+        verdict = "unknown"
+    rep = None
+    if replay and found and witness_tree is not None:
+        fields = sorted(set(_program_fields(p)) | set(_program_fields(p_prime)))
+        rep = replay_conflict(p, p_prime, witness_tree, fields)
+    return VerificationResult(
+        query=f"equivalence({p.name} vs {p_prime.name})",
+        verdict=verdict,
+        engine=used,
+        elapsed=time.perf_counter() - t0,
+        holds=not found,
+        witness=witness,
+        witness_tree=witness_tree,
+        replay=rep,
+        details=details,
+    )

@@ -1,0 +1,370 @@
+"""Bounded explicit checker: the paper's queries decided exactly on a finite
+scope of tree shapes.
+
+The MSO abstraction of §4 talks only about tree *shape* and condition
+labels, so checking every shape up to a size bound is an exhaustive search
+of the abstraction's models on that scope.  This engine serves as
+
+* the reference implementation the symbolic (automata) engine is
+  differentially tested against,
+* the fallback when the symbolic engine exceeds its budget, and
+* the baseline engine in the benchmarks.
+
+Verdicts are definite for counterexamples ("found") and scope-bounded for
+"not found" — the same asymmetry MONA-based verification has for its own
+soundness direction (negative answers there can be spurious; positive
+answers here are bounded).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..lang import ast as A
+from ..trees.generators import all_shapes
+from ..trees.heap import Tree
+from .configurations import (
+    Configuration,
+    ProgramModel,
+    consistent_divergences,
+    dependence_cells,
+    enumerate_configurations,
+    ordered,
+    parallel,
+)
+
+__all__ = [
+    "BoundedVerdict",
+    "RaceWitness",
+    "ConflictWitness",
+    "default_scope",
+    "check_data_race_bounded",
+    "check_conflict_bounded",
+    "dependent_ordered_endpoints",
+]
+
+
+@dataclass
+class RaceWitness:
+    tree: Tree
+    c1: Configuration
+    c2: Configuration
+    cells: List[str]
+
+    def __str__(self) -> str:
+        return (
+            f"race on {self.cells} between {self.c1} and {self.c2} "
+            f"(tree size {self.tree.size})"
+        )
+
+
+@dataclass
+class ConflictWitness:
+    tree: Tree
+    endpoints: Tuple[Tuple[str, str], Tuple[str, str]]  # ((q1,x1),(q2,x2))
+    p_order: str
+    p_prime_order: str
+
+    def __str__(self) -> str:
+        (q1, x1), (q2, x2) = self.endpoints
+        return (
+            f"dependence ({q1}@{x1 or 'root'}) -> ({q2}@{x2 or 'root'}) is "
+            f"{self.p_order} in P but {self.p_prime_order} in P' "
+            f"(tree size {self.tree.size})"
+        )
+
+
+@dataclass
+class BoundedVerdict:
+    query: str
+    found: bool
+    witness: Optional[object] = None
+    trees_checked: int = 0
+    max_configs: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        """True when the verified property (race-freeness / equivalence)
+        holds on the checked scope."""
+        return not self.found
+
+    def __str__(self) -> str:
+        status = "COUNTEREXAMPLE" if self.found else "holds on scope"
+        return (
+            f"[bounded] {self.query}: {status} "
+            f"({self.trees_checked} trees, max {self.max_configs} configs, "
+            f"{self.elapsed:.3f}s)"
+        )
+
+
+def default_scope(max_internal: int = 4) -> List[Tree]:
+    """Every tree shape with up to ``max_internal`` internal nodes."""
+    out: List[Tree] = []
+    for n in range(max_internal + 1):
+        out.extend(all_shapes(n))
+    return out
+
+
+def check_data_race_bounded(
+    program: A.Program,
+    scope: Optional[Iterable[Tree]] = None,
+    max_internal: int = 4,
+) -> BoundedVerdict:
+    """Decide ``DataRace[[P]]`` on the scope (Thm 2 instantiated finitely)."""
+    model = ProgramModel(program)
+    t0 = time.perf_counter()
+    verdict = BoundedVerdict(query=f"data-race({program.name})", found=False)
+    for tree in scope if scope is not None else default_scope(max_internal):
+        configs = enumerate_configurations(model, tree)
+        verdict.trees_checked += 1
+        verdict.max_configs = max(verdict.max_configs, len(configs))
+        groups = _group_by_endpoint(configs)
+        for (q1, x1), (q2, x2), _reqs, cells in _conflicting_endpoints(
+            model, tree, groups
+        ):
+            for c1 in groups[(q1, x1)]:
+                for c2 in groups[(q2, x2)]:
+                    if c1 is c2:
+                        continue
+                    if parallel(model, c1, c2) and dependence_cells(
+                        model, tree, c1, c2
+                    ):
+                        verdict.found = True
+                        verdict.witness = RaceWitness(tree, c1, c2, cells)
+                        verdict.elapsed = time.perf_counter() - t0
+                        return verdict
+    verdict.elapsed = time.perf_counter() - t0
+    return verdict
+
+
+def _group_by_endpoint(
+    configs: Sequence[Configuration],
+) -> Dict[Tuple[str, str], List[Configuration]]:
+    groups: Dict[Tuple[str, str], List[Configuration]] = {}
+    for c in configs:
+        groups.setdefault((c.last_sid, c.last_node), []).append(c)
+    return groups
+
+
+def cell_class(kind: str, name: str) -> Tuple:
+    """Program-independent equivalence class of a cell.
+
+    Field names survive transformations unchanged; return-value and local
+    variable cells are renamed by fusion (functions merge), so they share a
+    single "value" class — the correspondence mapping, not the name,
+    identifies them across programs."""
+    if kind == "field":
+        return ("field", name)
+    return ("value",)
+
+
+def _conflicting_endpoints(
+    model: ProgramModel,
+    tree: Tree,
+    groups: Mapping[Tuple[str, str], List[Configuration]],
+):
+    """Endpoint pairs whose blocks statically conflict at a shared cell.
+
+    Yields ``(e1, e2, reqs, cells)`` where ``reqs`` is a set of access
+    requirements ``(class, need1, need2)`` with need in {"w", "rw"} — the
+    access each endpoint's block must perform for this conflict."""
+    keys = list(groups)
+    for i, (q1, x1) in enumerate(keys):
+        b1 = model.table.block(q1)
+        for q2, x2 in keys[i:]:
+            b2 = model.table.block(q2)
+            cells = []
+            reqs = set()
+            a1, a2 = model.rw.access(b1), model.rw.access(b2)
+            for d1, d2, kind, name in model.rw.conflict_offsets(b1, b2):
+                p1, p2 = x1 + d1, x2 + d2
+                if p1 != p2 or p1 not in tree:
+                    continue
+                if kind == "field" and tree.node_at(p1).is_nil:
+                    continue
+                cells.append(f"{kind}:{name}@{p1 or 'root'}")
+                clazz = cell_class(kind, name)
+                w1 = any(
+                    (c.kind, c.name) == (kind, name) and c.dirs == d1
+                    for c in a1.writes
+                )
+                w2 = any(
+                    (c.kind, c.name) == (kind, name) and c.dirs == d2
+                    for c in a2.writes
+                )
+                if w2:
+                    reqs.add((clazz, "rw", "w"))
+                if w1:
+                    reqs.add((clazz, "w", "rw"))
+            if cells:
+                yield (q1, x1), (q2, x2), reqs, cells
+
+
+def dependent_ordered_endpoints(
+    model: ProgramModel,
+    tree: Tree,
+    configs: Sequence[Configuration],
+) -> Dict[
+    Tuple[Tuple[str, str], Tuple[str, str]], Set[Tuple]
+]:
+    """All ``((q_first, x_first), (q_second, x_second))`` such that some
+    dependent configuration pair ends there with the first strictly ordered
+    before the second (the building block of ``Conflict[[P, P']]``).
+
+    Maps each ordered pair to its access requirements (see
+    :func:`_conflicting_endpoints`), oriented first→second."""
+    out: Dict[Tuple[Tuple[str, str], Tuple[str, str]], Set[Tuple]] = {}
+    groups = _group_by_endpoint(configs)
+    for (q1, x1), (q2, x2), reqs, _cells in _conflicting_endpoints(
+        model, tree, groups
+    ):
+        fwd = rev = False
+        for c1 in groups[(q1, x1)]:
+            for c2 in groups[(q2, x2)]:
+                if c1 is c2:
+                    continue
+                if not dependence_cells(model, tree, c1, c2):
+                    continue
+                fwd = fwd or ordered(model, c1, c2)
+                rev = rev or ordered(model, c2, c1)
+                if fwd and rev:
+                    break
+            if fwd and rev:
+                break
+        if fwd:
+            out.setdefault(((q1, x1), (q2, x2)), set()).update(reqs)
+        if rev:
+            swapped = {(clazz, n2, n1) for clazz, n1, n2 in reqs}
+            out.setdefault(((q2, x2), (q1, x1)), set()).update(swapped)
+    return out
+
+
+def ordered_endpoint_pairs(
+    model: ProgramModel,
+    configs: Sequence[Configuration],
+    of_interest: Optional[Set[Tuple[Tuple[str, str], Tuple[str, str]]]] = None,
+) -> Set[Tuple[Tuple[str, str], Tuple[str, str]]]:
+    """``((q_a, x_a), (q_b, x_b))`` pairs for which some coexisting
+    configuration pair ends there with the first ordered before the second.
+
+    ``of_interest`` restricts the search to the given endpoint pairs (both
+    orders are still reported for each)."""
+    out: Set[Tuple[Tuple[str, str], Tuple[str, str]]] = set()
+    groups = _group_by_endpoint(configs)
+    if of_interest is not None:
+        wanted = of_interest | {(b, a) for a, b in of_interest}
+        pairs = [
+            (e1, e2) for e1, e2 in wanted if e1 in groups and e2 in groups
+        ]
+    else:
+        keys = list(groups)
+        pairs = [(e1, e2) for e1 in keys for e2 in keys]
+    for e1, e2 in pairs:
+        if (e1, e2) in out:
+            continue
+        for c1 in groups[e1]:
+            if (e1, e2) in out:
+                break
+            for c2 in groups[e2]:
+                if c1 is c2:
+                    continue
+                if ordered(model, c1, c2):
+                    out.add((e1, e2))
+                    break
+    return out
+
+
+def block_touches(model: ProgramModel, sid: str, clazz: Tuple, need: str) -> bool:
+    """Does block ``sid`` perform the required access on the cell class?"""
+    acc = model.rw.access(model.table.block(sid))
+    cells = acc.writes if need == "w" else acc.readwrites
+    for c in cells:
+        if cell_class(c.kind, c.name) == clazz:
+            return True
+    return False
+
+
+def map_endpoint_pairs(
+    pairs: Mapping[Tuple[Tuple[str, str], Tuple[str, str]], Set[Tuple]],
+    mapping: Mapping[str, Set[str]],
+    model_q: ProgramModel,
+) -> Dict[
+    Tuple[Tuple[str, str], Tuple[str, str]],
+    List[Tuple[Tuple[str, str], Tuple[str, str]]],
+]:
+    """Translate P endpoint pairs to their P' images under the block
+    correspondence, keeping only images whose blocks actually perform the
+    conflicting accesses (a split image block that only carries *other*
+    roles of the original block is not this dependence's image)."""
+    out = {}
+    for ((q1, x1), (q2, x2)), reqs in pairs.items():
+        images = []
+        for q1m in mapping.get(q1, set()):
+            for q2m in mapping.get(q2, set()):
+                ok = any(
+                    block_touches(model_q, q1m, clazz, n1)
+                    and block_touches(model_q, q2m, clazz, n2)
+                    for clazz, n1, n2 in reqs
+                )
+                if ok:
+                    images.append(((q1m, x1), (q2m, x2)))
+        out[((q1, x1), (q2, x2))] = images
+    return out
+
+
+def check_conflict_bounded(
+    p: A.Program,
+    p_prime: A.Program,
+    mapping: Mapping[str, Set[str]],
+    scope: Optional[Iterable[Tree]] = None,
+    max_internal: int = 4,
+) -> BoundedVerdict:
+    """Decide ``Conflict[[P, P']]`` on the scope (Thm 3 instantiated
+    finitely).
+
+    Following the paper, the two programs are built on the same straight-line
+    blocks, so dependences (which blocks touch which cells) are computed once
+    on ``P``; only the *schedule* (the Ordered relation over configurations)
+    is re-derived on ``P'``.  ``mapping`` sends each non-call sid of ``P`` to
+    the non-call sid(s) of ``P'`` carrying that block's work (one-to-many
+    when a transformation splits a block's roles).
+
+    A conflict is a dependence ordered first→second in ``P`` whose image in
+    ``P'`` can be scheduled second→first — exactly ``Conflict[[P, P']]``.
+    """
+    model_p = ProgramModel(p)
+    model_q = ProgramModel(p_prime)
+    t0 = time.perf_counter()
+    verdict = BoundedVerdict(
+        query=f"conflict({p.name} vs {p_prime.name})", found=False
+    )
+    for tree in scope if scope is not None else default_scope(max_internal):
+        cp = enumerate_configurations(model_p, tree)
+        cq = enumerate_configurations(model_q, tree)
+        verdict.trees_checked += 1
+        verdict.max_configs = max(verdict.max_configs, len(cp), len(cq))
+        dep_p = dependent_ordered_endpoints(model_p, tree, cp)
+        images = map_endpoint_pairs(dep_p, mapping, model_q)
+        wanted: Set[Tuple[Tuple[str, str], Tuple[str, str]]] = set()
+        for img_list in images.values():
+            wanted.update(img_list)
+        ord_q = ordered_endpoint_pairs(model_q, cq, of_interest=wanted)
+        for (e1, e2), img_list in images.items():
+            for e1m, e2m in img_list:
+                if (e2m, e1m) in ord_q:
+                    verdict.found = True
+                    verdict.witness = ConflictWitness(
+                        tree,
+                        (e1, e2),
+                        p_order="first -> second",
+                        p_prime_order=(
+                            f"second -> first via {e2m} before {e1m}"
+                        ),
+                    )
+                    verdict.elapsed = time.perf_counter() - t0
+                    return verdict
+    verdict.elapsed = time.perf_counter() - t0
+    return verdict

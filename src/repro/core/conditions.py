@@ -1,0 +1,214 @@
+"""Branch-condition universe and ``ConsistentCondSet`` (paper §4).
+
+Arithmetic branch conditions become uninterpreted per-node labels ``C_c`` in
+the MSO encoding; the only arithmetic the abstraction keeps is *per-node
+consistency*: which complete truth assignments over the condition labels are
+jointly satisfiable.  The paper computes this set a priori with an SMT
+solver; we use :mod:`repro.arith`.
+
+Weakest preconditions ``WP(c, M)`` are computed by symbolic speculative
+execution along the straight-line paths to each condition's ``if`` node
+(Appendix C / Fig. 12).  Conditions from *different* functions are coupled
+through shared ``@field::…`` variables — two traversals testing fields of
+the same node constrain each other, exactly the coupling the CSS case study
+needs.
+
+Unknown satisfiability (branch-depth exhaustion in the LIA solver, or
+expansion caps) is treated as *consistent* — a sound over-approximation that
+can only add behaviours.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..arith import Constraint, check_sat
+from ..lang import ast as A
+from ..lang.blocks import BlockTable, CondInfo
+from .pathcond import DNF, MixedConditionError, SymState, cond_is_structural
+
+__all__ = ["ConditionUniverse"]
+
+MAX_ENUM_CONDS = 14
+MAX_DNF_EXPANSION = 4096
+
+
+class ConditionUniverse:
+    """All arithmetic conditions of a program and their consistent sets."""
+
+    def __init__(self, table: BlockTable) -> None:
+        self.table = table
+        self.arith_conds: List[CondInfo] = []
+        self.struct_conds: List[CondInfo] = []
+        for c in table.conds:
+            structural = cond_is_structural(c.cond)
+            if structural is None:
+                raise MixedConditionError(
+                    f"{c.cid} mixes nil tests and arithmetic: {c.cond}"
+                )
+            (self.struct_conds if structural else self.arith_conds).append(c)
+        self.wp: Dict[str, DNF] = {
+            c.cid: self._wp_dnf(c) for c in self.arith_conds
+        }
+        self._consistent: Optional[List[FrozenSet[Tuple[str, bool]]]] = None
+
+    # -- weakest preconditions ---------------------------------------------------
+    def _wp_dnf(self, c: CondInfo) -> DNF:
+        """WP of condition ``c`` (positively) as a constraint DNF, unioned
+        over the straight-line paths reaching its ``if`` node."""
+        func = self.table.program.funcs[c.func]
+        out: DNF = []
+        for path in self._paths_to_if(c):
+            state = SymState(c.func, func.int_params)
+            for item in path:
+                if item.kind == "block" and item.block is not None:
+                    state.exec_block(item.block)
+            out.extend(state.eval_bexpr_dnf(c.cond, True))
+        # Deduplicate identical disjuncts.
+        seen = set()
+        dedup: DNF = []
+        for disj in out:
+            key = tuple(sorted(str(x) for x in disj))
+            if key not in seen:
+                seen.add(key)
+                dedup.append(disj)
+        return dedup
+
+    def _paths_to_if(self, c: CondInfo):
+        """Straight-line paths from the function entry to the if node of c.
+
+        Reuses the block-path machinery: the paths to ``c``'s then-branch
+        blocks minus the final assume on ``c`` itself.  When the then branch
+        is empty this falls back to the else branch.
+        """
+        # Find a block inside the if to anchor on.
+        anchor = None
+        for b in self.table.blocks_of(c.func):
+            conds = self.table.path_conditions(b)
+            if any(ci is c for ci, _ in conds):
+                anchor = b
+                break
+        if anchor is None:
+            return [()]  # empty if: condition unreachable by blocks
+        paths = []
+        for p in self.table.straightline_paths(anchor):
+            # Truncate at the assume on c.
+            cut = []
+            for item in p:
+                if item.kind == "assume" and item.cond is c:
+                    break
+                cut.append(item)
+            paths.append(tuple(cut))
+        # Dedup (different branch continuations share the same prefix).
+        seen = set()
+        out = []
+        for p in paths:
+            key = tuple(id(i.block) if i.block else (i.cond.cid, i.polarity) for i in p)
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+        return out
+
+    # -- consistency -------------------------------------------------------------
+    @property
+    def consistent_sets(self) -> List[FrozenSet[Tuple[str, bool]]]:
+        """All complete, satisfiable truth assignments over the arithmetic
+        conditions — the paper's ``ConsistentCondSet``."""
+        if self._consistent is None:
+            self._consistent = self._compute_consistent()
+        return self._consistent
+
+    def _compute_consistent(self) -> List[FrozenSet[Tuple[str, bool]]]:
+        cids = [c.cid for c in self.arith_conds]
+        if len(cids) > MAX_ENUM_CONDS:
+            # Sound fallback: treat every assignment as consistent (flag
+            # checked by `compatible`/`completions`; never materialized).
+            self.all_consistent = True
+            return []
+        self.all_consistent = False
+        out = []
+        for combo in itertools.product((True, False), repeat=len(cids)):
+            assignment = dict(zip(cids, combo))
+            if self._assignment_sat(assignment):
+                out.append(frozenset(assignment.items()))
+        return out
+
+    def _assignment_sat(self, assignment: Mapping[str, bool]) -> bool:
+        """Is ∧_{c true} WP(c) ∧ ∧_{c false} ¬WP(c) satisfiable?"""
+        # Build alternative constraint sets by DFS over DNF choices.
+        choice_sets: List[List[List[Constraint]]] = []
+        for cid, value in assignment.items():
+            dnf = self.wp[cid]
+            if value:
+                if not dnf:
+                    return False  # WP is `false`, cannot be satisfied
+                choice_sets.append([list(d) for d in dnf])
+            else:
+                neg = _negate_dnf(dnf)
+                if neg is None:
+                    return True  # too big to negate: sound over-approx
+                if not neg:
+                    return False  # WP is `true`, negation unsatisfiable
+                choice_sets.append(neg)
+
+        def dfs(i: int, acc: List[Constraint]) -> bool:
+            if len(acc) > 0 and not check_sat(acc).possibly_sat:
+                return False
+            if i == len(choice_sets):
+                return check_sat(acc).possibly_sat
+            for choice in choice_sets[i]:
+                if dfs(i + 1, acc + choice):
+                    return True
+            return False
+
+        return dfs(0, [])
+
+    def compatible(self, pins: Mapping[str, bool]) -> bool:
+        """Can the partial assignment ``pins`` extend to a consistent set?"""
+        if not pins:
+            return True
+        sets = self.consistent_sets
+        if getattr(self, "all_consistent", False):
+            return True
+        for s in sets:
+            d = dict(s)
+            if all(d.get(cid) == v for cid, v in pins.items()):
+                return True
+        return False
+
+    def completions(
+        self, pins: Mapping[str, bool]
+    ) -> List[FrozenSet[Tuple[str, bool]]]:
+        """All consistent complete assignments extending ``pins``."""
+        sets = self.consistent_sets
+        if getattr(self, "all_consistent", False):
+            free = [c.cid for c in self.arith_conds if c.cid not in pins]
+            return [
+                frozenset(list(pins.items()) + list(zip(free, combo)))
+                for combo in itertools.product((True, False), repeat=len(free))
+            ]
+        out = []
+        for s in sets:
+            d = dict(s)
+            if all(d.get(cid) == v for cid, v in pins.items()):
+                out.append(s)
+        return out
+
+
+def _negate_dnf(dnf: DNF) -> Optional[List[List[Constraint]]]:
+    """¬(D1 ∨ … ∨ Dk) as a list of alternative conjunctions (a DNF again),
+    by distributing; returns None if the expansion exceeds the cap."""
+    # ¬Di = ∨ over atoms a in Di of ¬a (each ¬a is a disjunction of 1-2 atoms).
+    alternatives: List[List[Constraint]] = [[]]
+    for disj in dnf:
+        nxt: List[List[Constraint]] = []
+        for acc in alternatives:
+            for atom in disj:
+                for neg in atom.negated():
+                    nxt.append(acc + [neg])
+        if len(nxt) > MAX_DNF_EXPANSION:
+            return None
+        alternatives = nxt
+    return alternatives

@@ -1,0 +1,310 @@
+"""Configurations (paper §3, Def. 2) and their relations (§4) on a concrete
+tree.
+
+A :class:`Configuration` is a call-stack snapshot: a chain of records
+``(call block, node)`` starting from the pseudo-call ``main`` on the root and
+ending at a non-call block.  We enumerate them directly from the
+:func:`~repro.core.pathcond.transition_cases` — i.e., the same abstraction
+the MSO encoding uses: per-record structural pins are checked against the
+tree shape, arithmetic pins accumulate as per-node ``C_c`` label constraints,
+and integer state is otherwise abstracted away.
+
+The relation predicates (`consistent_divergences`, `ordered`, `parallel`,
+`dependence`) evaluate the paper's MSO formulas on the concrete label maps,
+making this module both the reference semantics for the symbolic engine and
+the workhorse of the bounded checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..lang import ast as A
+from ..lang.blocks import Block, BlockTable, Relation
+from ..trees.heap import Tree, TreeNode
+from .conditions import ConditionUniverse
+from .pathcond import StructPin, TransitionCase, transition_cases
+from .readwrite import ReadWriteAnalysis
+
+__all__ = [
+    "Record",
+    "Configuration",
+    "ProgramModel",
+    "enumerate_configurations",
+    "Divergence",
+]
+
+MAIN_SID = "main"
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stack record: block ``sid`` placed the callee at ``node``."""
+
+    sid: str  # call-block sid, or "main" for the entry pseudo-call
+    func: str  # the function running at ``node``
+    node: str  # tree path
+
+    def __str__(self) -> str:
+        return f"({self.sid}, {self.node or 'root'})"
+
+
+@dataclass
+class Configuration:
+    """A complete configuration with its MSO label maps."""
+
+    records: Tuple[Record, ...]
+    last_sid: str  # the final non-call block
+    last_node: str
+    # L: node path -> set of sids labelled there (call sids + final noncall).
+    labels: Dict[str, FrozenSet[str]]
+    # C pins: (node path, cid) -> bool for arithmetic conditions pinned by
+    # the transitions of this configuration.
+    cond_pins: Dict[Tuple[str, str], bool]
+
+    def label_at(self, node: str) -> FrozenSet[str]:
+        return self.labels.get(node, frozenset())
+
+    def pins_at(self, node: str) -> Dict[str, bool]:
+        return {
+            cid: v for (n, cid), v in self.cond_pins.items() if n == node
+        }
+
+    def __str__(self) -> str:
+        recs = " / ".join(str(r) for r in self.records)
+        return f"[{recs} / ({self.last_sid}, {self.last_node or 'root'})]"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A diverging point per the ``Consistent`` predicate."""
+
+    node: str  # z
+    src_sid: str  # s — the shared record's call block
+    t1: str  # next block in configuration 1
+    t2: str  # next block in configuration 2
+
+
+class ProgramModel:
+    """Cached analyses of one program: transitions, conditions, accesses."""
+
+    def __init__(self, program: A.Program) -> None:
+        self.program = program
+        self.table = BlockTable(program)
+        self.universe = ConditionUniverse(self.table)
+        self.rw = ReadWriteAnalysis(self.table)
+        self._cases: Dict[Tuple[str, str], List[TransitionCase]] = {}
+
+    def cases(self, fname: str, t: Block) -> List[TransitionCase]:
+        key = (fname, t.sid)
+        if key not in self._cases:
+            self._cases[key] = transition_cases(self.table, fname, t)
+        return self._cases[key]
+
+    def block_relation(self, a: str, b: str) -> str:
+        return self.table.relation(self.table.block(a), self.table.block(b))
+
+
+# ---------------------------------------------------------------------------
+# Enumeration
+# ---------------------------------------------------------------------------
+
+def _resolve_shape(tree: Tree, node: str, dirs: str) -> Optional[bool]:
+    """Is the node at ``node + dirs`` nil?  None if it cannot exist (below a
+    nil frontier — treated as nil per the isNil closure)."""
+    path = node
+    cur = tree.node_at(node) if node in tree else None
+    if cur is None:
+        return True
+    for d in dirs:
+        if cur.is_nil:
+            return True  # children of nil are nil
+        cur = cur.child(d)
+    return cur.is_nil
+
+
+def _check_struct(tree: Tree, node: str, pins: Sequence[StructPin]) -> bool:
+    for p in pins:
+        actual = _resolve_shape(tree, node, p.dirs)
+        if actual != p.is_nil:
+            return False
+    return True
+
+
+def enumerate_configurations(
+    model: ProgramModel,
+    tree: Tree,
+    max_configs: int = 2_000_000,
+) -> List[Configuration]:
+    """All valid configurations of the program on the given tree."""
+    out: List[Configuration] = []
+    table = model.table
+    entry = model.program.entry
+
+    def extend(
+        records: List[Record],
+        labels: Dict[str, FrozenSet[str]],
+        pins: Dict[Tuple[str, str], bool],
+    ) -> None:
+        if len(out) >= max_configs:
+            raise RuntimeError(f"more than {max_configs} configurations")
+        rec = records[-1]
+        for t in table.blocks_of(rec.func):
+            for case in model.cases(rec.func, t):
+                if not _check_struct(tree, rec.node, case.struct_pins):
+                    continue
+                new_pins = dict(pins)
+                conflict = False
+                for ap in case.arith_pins:
+                    key = (rec.node, ap.cid)
+                    if new_pins.get(key, ap.value) != ap.value:
+                        conflict = True
+                        break
+                    new_pins[key] = ap.value
+                if conflict:
+                    continue
+                # Per-node consistency check for the pinned node.
+                node_pins = {
+                    cid: v for (n, cid), v in new_pins.items() if n == rec.node
+                }
+                if not model.universe.compatible(node_pins):
+                    continue
+                if t.is_call:
+                    child = rec.node + case.direction
+                    # The callee runs at child; a record may sit on a nil
+                    # node (its nil-branch blocks execute there) but not
+                    # below the represented frontier.
+                    if child not in tree:
+                        continue
+                    new_labels = dict(labels)
+                    new_labels[child] = new_labels.get(child, frozenset()) | {
+                        t.sid
+                    }
+                    records.append(Record(t.sid, t.callee, child))
+                    extend(records, new_labels, new_pins)
+                    records.pop()
+                else:
+                    new_labels = dict(labels)
+                    new_labels[rec.node] = new_labels.get(
+                        rec.node, frozenset()
+                    ) | {t.sid}
+                    out.append(
+                        Configuration(
+                            records=tuple(records),
+                            last_sid=t.sid,
+                            last_node=rec.node,
+                            labels=new_labels,
+                            cond_pins=new_pins,
+                        )
+                    )
+
+    root_rec = Record(MAIN_SID, entry, "")
+    extend([root_rec], {"": frozenset({MAIN_SID})}, {})
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Relations between configurations (paper Fig. 5 and the Consistent
+# predicate), evaluated on concrete configurations.
+# ---------------------------------------------------------------------------
+
+def _ancestors(node: str) -> List[str]:
+    """Strict ancestors of a tree path, root first."""
+    return [node[:i] for i in range(len(node))]
+
+
+def consistent_divergences(
+    model: ProgramModel,
+    c1: Configuration,
+    c2: Configuration,
+) -> List[Divergence]:
+    """All divergences witnessing that ``c1`` and ``c2`` can coexist.
+
+    Mirrors the MSO predicate: a node ``z`` where the records diverge after
+    an identical shared prefix, with the two next-steps enabled under
+    compatible condition labels.
+    """
+    r1, r2 = c1.records, c2.records
+    k = 0
+    while k < len(r1) and k < len(r2) and r1[k] == r2[k]:
+        k += 1
+    # Determine the diverging step of each chain, treating the final
+    # non-call block as the last step.
+    n1 = (
+        Record(c1.last_sid, "", c1.last_node) if k == len(r1) else r1[k]
+    )
+    n2 = (
+        Record(c2.last_sid, "", c2.last_node) if k == len(r2) else r2[k]
+    )
+    if k == len(r1) and k == len(r2):
+        # Identical record chains: same configuration up to the last block.
+        if c1.last_sid == c2.last_sid and c1.last_node == c2.last_node:
+            return []  # the same configuration — no divergence
+        t1_sid, t2_sid = c1.last_sid, c2.last_sid
+        z = r1[-1].node
+        shared_sid = r1[-1].sid
+    else:
+        if k == 0:
+            return []  # different roots cannot happen (same program)
+        t1_sid, t2_sid = n1.sid, n2.sid
+        z = r1[k - 1].node
+        shared_sid = r1[k - 1].sid
+    if t1_sid == t2_sid:
+        return []
+    # The diverging blocks must belong to the shared record's function.
+    b1, b2 = model.table.block(t1_sid), model.table.block(t2_sid)
+    if b1.func != b2.func:
+        return []
+    # Condition-label compatibility on the shared prefix (ancestors of z
+    # and z itself): merged pins must extend to a consistent set per node.
+    for node in _ancestors(z) + [z]:
+        merged = c1.pins_at(node)
+        for cid, v in c2.pins_at(node).items():
+            if merged.get(cid, v) != v:
+                return []
+            merged[cid] = v
+        if not model.universe.compatible(merged):
+            return []
+    return [Divergence(z, shared_sid, t1_sid, t2_sid)]
+
+
+def ordered(
+    model: ProgramModel, c1: Configuration, c2: Configuration
+) -> bool:
+    """``Ordered(c1, c2)``: c1's iteration always precedes c2's."""
+    return any(
+        model.block_relation(d.t1, d.t2) == Relation.SEQ_BEFORE
+        for d in consistent_divergences(model, c1, c2)
+    )
+
+
+def parallel(
+    model: ProgramModel, c1: Configuration, c2: Configuration
+) -> bool:
+    """``Parallel(c1, c2)``: the iterations may occur in either order."""
+    return any(
+        model.block_relation(d.t1, d.t2) == Relation.PARALLEL
+        for d in consistent_divergences(model, c1, c2)
+    )
+
+
+def dependence_cells(
+    model: ProgramModel,
+    tree: Tree,
+    c1: Configuration,
+    c2: Configuration,
+) -> List[str]:
+    """Concrete cells where the last blocks of ``c1``/``c2`` conflict."""
+    q1 = model.table.block(c1.last_sid)
+    q2 = model.table.block(c2.last_sid)
+    out = []
+    for d1, d2, kind, name in model.rw.conflict_offsets(q1, q2):
+        p1, p2 = c1.last_node + d1, c2.last_node + d2
+        if p1 != p2 or p1 not in tree:
+            continue
+        if kind == "field" and tree.node_at(p1).is_nil:
+            continue  # fields live on internal nodes only
+        out.append(f"{kind}:{name}@{p1 or 'root'}")
+    return out

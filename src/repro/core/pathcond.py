@@ -1,0 +1,358 @@
+"""Path conditions via symbolic speculative execution (paper Def. 1, Lemma 1,
+Appendix C).
+
+``transition_cases(table, f, t)`` computes, for a function ``f`` and a block
+``t ∈ Blocks(f)``, every way a speculative execution of ``f`` can reach
+``t``.  Each :class:`TransitionCase` captures the MSO-visible abstraction of
+``PathCond_{s,t}``:
+
+* the *assumes* — branch conditions taken on the way, split into structural
+  pins (nil tests, decided by tree shape) and arithmetic pins (``C_c``
+  labels); and
+* for the precise/bounded engines, the symbolic machinery: the weakest
+  precondition of each assumed condition as a constraint DNF over a
+  per-record variable namespace, and the callee-parameter bindings of
+  ``Match_{s,t}`` when ``t`` is itself a call.
+
+The variable namespace (shared with :mod:`repro.core.conditions`):
+
+* ``{f}::{p}``       — Int parameter ``p`` of the record's function ``f``;
+* ``{f}::{sid}::{k}``— speculative (ghost) return ``k`` of call block sid;
+* ``@field::{dirs}::{name}`` — a field read of the record's node (or its
+  descendants), *shared between records at the same node* — this sharing is
+  what couples different traversals' conditions in ``ConsistentCondSet``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arith import Constraint, LinTerm
+from ..lang import ast as A
+from ..lang.blocks import Block, BlockTable, CondInfo, PathItem
+
+__all__ = [
+    "StructPin",
+    "ArithPin",
+    "TransitionCase",
+    "transition_cases",
+    "cond_is_structural",
+    "struct_pin_of",
+    "SymState",
+    "MixedConditionError",
+]
+
+# A value under symbolic execution: disjoint cases of (linear term, side
+# conditions).  Case lists are produced by Max/Min elimination.
+CaseList = List[Tuple[LinTerm, List[Constraint]]]
+
+# DNF over the record namespace.
+DNF = List[List[Constraint]]
+
+
+class MixedConditionError(ValueError):
+    """A branch condition mixes nil tests with arithmetic (unsupported —
+    rewrite as nested ifs)."""
+
+
+@dataclass(frozen=True)
+class StructPin:
+    """Tree-shape requirement: node at ``dirs`` (from the record node) is
+    nil (``is_nil=True``) or not."""
+
+    dirs: str
+    is_nil: bool
+
+    def __str__(self) -> str:
+        rel = "==" if self.is_nil else "!="
+        return f"n{''.join('.' + d for d in self.dirs)} {rel} nil"
+
+
+@dataclass(frozen=True)
+class ArithPin:
+    """Arithmetic condition label pin: ``C_c(u) == value``."""
+
+    cid: str
+    value: bool
+
+    def __str__(self) -> str:
+        return f"{'' if self.value else '!'}{self.cid}"
+
+
+@dataclass
+class TransitionCase:
+    """One speculative path through ``func`` reaching block ``target``."""
+
+    func: str
+    target: Block
+    struct_pins: Tuple[StructPin, ...]
+    arith_pins: Tuple[ArithPin, ...]
+    # Precise-engine payload: conjunction (over assumed conditions) of
+    # constraint-DNFs in the record namespace.
+    wp_dnfs: List[DNF] = field(default_factory=list)
+    # When ``target`` is a call: child direction ('' same node, 'l'/'r')
+    # and Match bindings: callee param -> symbolic value cases.
+    direction: str = ""
+    bindings: Dict[str, CaseList] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        pins = [str(p) for p in self.struct_pins] + [str(p) for p in self.arith_pins]
+        return f"{self.func} --[{' & '.join(pins) or 'true'}]--> {self.target.sid}"
+
+
+def cond_is_structural(cond: A.BExpr) -> Optional[bool]:
+    """True = purely structural (nil tests), False = purely arithmetic,
+    None = mixed."""
+
+    def scan(b: A.BExpr) -> Tuple[bool, bool]:
+        if isinstance(b, A.IsNil):
+            return True, False
+        if isinstance(b, (A.Gt, A.Eq0)):
+            return False, True
+        if isinstance(b, A.BTrue):
+            return False, False
+        if isinstance(b, A.Not):
+            return scan(b.expr)
+        if isinstance(b, (A.BAnd, A.BOr)):
+            ls, la = scan(b.left)
+            rs, ra = scan(b.right)
+            return ls or rs, la or ra
+        raise TypeError(f"unknown BExpr {b!r}")
+
+    has_struct, has_arith = scan(cond)
+    if has_struct and has_arith:
+        return None
+    return has_struct  # pure BTrue counts as arithmetic/trivial
+
+
+def struct_pin_of(cond: A.BExpr, polarity: bool) -> List[List[StructPin]]:
+    """DNF of structural pins for a purely structural condition."""
+    if isinstance(cond, A.IsNil):
+        return [[StructPin(cond.loc.directions(), polarity)]]
+    if isinstance(cond, A.Not):
+        return struct_pin_of(cond.expr, not polarity)
+    if isinstance(cond, A.BAnd):
+        if polarity:
+            return [
+                a + b
+                for a in struct_pin_of(cond.left, True)
+                for b in struct_pin_of(cond.right, True)
+            ]
+        return struct_pin_of(cond.left, False) + struct_pin_of(cond.right, False)
+    if isinstance(cond, A.BOr):
+        if not polarity:
+            return [
+                a + b
+                for a in struct_pin_of(cond.left, False)
+                for b in struct_pin_of(cond.right, False)
+            ]
+        return struct_pin_of(cond.left, True) + struct_pin_of(cond.right, True)
+    if isinstance(cond, A.BTrue):
+        return [[]] if polarity else []
+    raise MixedConditionError(f"not structural: {cond}")
+
+
+class SymState:
+    """Symbolic state of a speculative execution (Def. 1)."""
+
+    def __init__(self, func_name: str, params: Tuple[str, ...]) -> None:
+        self.func = func_name
+        self.env: Dict[str, CaseList] = {
+            p: [(LinTerm.var(f"{func_name}::{p}"), [])] for p in params
+        }
+        self.fields: Dict[Tuple[str, str], CaseList] = {}
+
+    # -- naming ---------------------------------------------------------------
+    def ghost(self, sid: str, k: int) -> str:
+        return f"{self.func}::{sid}::{k}"
+
+    def field_var(self, dirs: str, name: str) -> str:
+        return f"@field::{dirs}::{name}"
+
+    # -- evaluation --------------------------------------------------------------
+    def eval(self, e: A.AExpr) -> CaseList:
+        if isinstance(e, A.Const):
+            return [(LinTerm.constant(e.value), [])]
+        if isinstance(e, A.Var):
+            if e.name in self.env:
+                return self.env[e.name]
+            # Read of an unassigned local: a fresh symbolic value.
+            return [(LinTerm.var(f"{self.func}::{e.name}"), [])]
+        if isinstance(e, A.FieldRead):
+            key = (e.loc.directions(), e.fieldname)
+            if key in self.fields:
+                return self.fields[key]
+            return [(LinTerm.var(self.field_var(*key)), [])]
+        if isinstance(e, (A.Add, A.Sub)):
+            out: CaseList = []
+            for lt, lc in self.eval(e.left):
+                for rt, rc in self.eval(e.right):
+                    t = lt + rt if isinstance(e, A.Add) else lt - rt
+                    out.append((t, lc + rc))
+            return out
+        if isinstance(e, A.Neg):
+            return [(t.scale(-1), c) for t, c in self.eval(e.expr)]
+        if isinstance(e, (A.Max, A.Min)):
+            arg_cases = [self.eval(a) for a in e.args]
+            out = []
+            for i in range(len(e.args)):
+                for ti, ci in arg_cases[i]:
+                    conds_list = [list(ci)]
+                    for j in range(len(e.args)):
+                        if j == i:
+                            continue
+                        nxt = []
+                        for conds in conds_list:
+                            for tj, cj in arg_cases[j]:
+                                gap = ti - tj if isinstance(e, A.Max) else tj - ti
+                                nxt.append(conds + cj + [Constraint(gap, ">=")])
+                        conds_list = nxt
+                    for conds in conds_list:
+                        out.append((ti, conds))
+            return out
+        raise TypeError(f"unknown AExpr {e!r}")
+
+    def eval_bexpr_dnf(self, b: A.BExpr, polarity: bool) -> DNF:
+        """Constraint DNF of an arithmetic condition under this state."""
+        from ..arith import GE, GT, EQ
+
+        if isinstance(b, A.BTrue):
+            return [[]] if polarity else []
+        if isinstance(b, A.Gt):
+            out: DNF = []
+            for t, side in self.eval(b.expr):
+                atom = Constraint(t, GT) if polarity else Constraint(t.scale(-1), GE)
+                out.append(side + [atom])
+            return out
+        if isinstance(b, A.Eq0):
+            out = []
+            for t, side in self.eval(b.expr):
+                if polarity:
+                    out.append(side + [Constraint(t, EQ)])
+                else:
+                    out.append(side + [Constraint(t, GT)])
+                    out.append(side + [Constraint(t.scale(-1), GT)])
+            return out
+        if isinstance(b, A.Not):
+            return self.eval_bexpr_dnf(b.expr, not polarity)
+        if isinstance(b, A.BAnd):
+            if polarity:
+                return [
+                    x + y
+                    for x in self.eval_bexpr_dnf(b.left, True)
+                    for y in self.eval_bexpr_dnf(b.right, True)
+                ]
+            return self.eval_bexpr_dnf(b.left, False) + self.eval_bexpr_dnf(
+                b.right, False
+            )
+        if isinstance(b, A.BOr):
+            if polarity:
+                return self.eval_bexpr_dnf(b.left, True) + self.eval_bexpr_dnf(
+                    b.right, True
+                )
+            return [
+                x + y
+                for x in self.eval_bexpr_dnf(b.left, False)
+                for y in self.eval_bexpr_dnf(b.right, False)
+            ]
+        raise MixedConditionError(f"cannot lower condition {b}")
+
+    # -- transfer ----------------------------------------------------------------
+    def exec_block(self, b: Block) -> None:
+        if b.is_call:
+            stmt = b.stmt
+            assert isinstance(stmt, A.CallStmt)
+            for k, tgt in enumerate(stmt.targets):
+                self.env[tgt] = [(LinTerm.var(self.ghost(b.sid, k)), [])]
+            return
+        stmt2 = b.stmt
+        assert isinstance(stmt2, A.AssignBlock)
+        for a in stmt2.assigns:
+            if isinstance(a, A.VarAssign):
+                self.env[a.name] = self.eval(a.expr)
+            elif isinstance(a, A.FieldAssign):
+                self.fields[(a.loc.directions(), a.fieldname)] = self.eval(a.expr)
+            # Return: terminal; paths to a later target never include it.
+
+
+def transition_cases(table: BlockTable, fname: str, t: Block) -> List[TransitionCase]:
+    """All speculative-execution cases of ``fname`` reaching block ``t``."""
+    assert t.func == fname
+    stmt_dir = ""
+    if t.is_call:
+        stmt = t.stmt
+        assert isinstance(stmt, A.CallStmt)
+        stmt_dir = stmt.loc.directions()
+    func = table.program.funcs[fname]
+
+    cases: List[TransitionCase] = []
+    for path in table.straightline_paths(t):
+        state = SymState(fname, func.int_params)
+        struct_pins: List[StructPin] = []
+        arith_pins: List[ArithPin] = []
+        wp_dnfs: List[DNF] = []
+        feasible_struct: List[List[List[StructPin]]] = []  # per-assume DNFs
+        ok = True
+        for item in path:
+            if item.kind == "block":
+                assert item.block is not None
+                state.exec_block(item.block)
+                continue
+            cond = item.cond
+            assert cond is not None
+            structural = cond_is_structural(cond.cond)
+            if structural is None:
+                raise MixedConditionError(
+                    f"{cond.cid} in {fname} mixes nil tests and arithmetic: "
+                    f"{cond.cond}"
+                )
+            if structural:
+                pin_dnf = struct_pin_of(cond.cond, item.polarity)
+                if not pin_dnf:
+                    ok = False
+                    break
+                feasible_struct.append(pin_dnf)
+            else:
+                arith_pins.append(ArithPin(cond.cid, item.polarity))
+                wp_dnfs.append(state.eval_bexpr_dnf(cond.cond, item.polarity))
+        if not ok:
+            continue
+        # Expand structural DNFs (they are tiny: usually one literal each).
+        expansions: List[List[StructPin]] = [[]]
+        for dnf in feasible_struct:
+            expansions = [e + disj for e in expansions for disj in dnf]
+        for struct_combo in expansions:
+            combo = _dedupe_struct(struct_combo)
+            if combo is None:
+                continue  # contradictory pins along this path
+            case = TransitionCase(
+                func=fname,
+                target=t,
+                struct_pins=tuple(combo),
+                arith_pins=tuple(arith_pins),
+                wp_dnfs=[list(d) for d in wp_dnfs],
+                direction=stmt_dir,
+            )
+            if t.is_call:
+                stmt = t.stmt
+                assert isinstance(stmt, A.CallStmt)
+                callee = table.program.funcs[stmt.func]
+                case.bindings = {
+                    p: state.eval(arg)
+                    for p, arg in zip(callee.int_params, stmt.args)
+                }
+            cases.append(case)
+    return cases
+
+
+def _dedupe_struct(pins: List[StructPin]) -> Optional[List[StructPin]]:
+    seen: Dict[str, bool] = {}
+    for p in pins:
+        if p.dirs in seen and seen[p.dirs] != p.is_nil:
+            return None
+        seen[p.dirs] = p.is_nil
+    # Propagate: nil(u.d) requires... (nil children of nil are implicit in
+    # the tree model; contradictions like nil('') with !nil('l') are caught
+    # by the concrete shape check downstream).
+    return [StructPin(d, v) for d, v in sorted(seen.items())]

@@ -1,0 +1,224 @@
+"""Read & write analysis (paper Appendix B).
+
+For every non-call block ``s`` we compute the read set ``Rs`` and write set
+``Ws`` as sets of *access descriptors* — cells addressed relative to the node
+the block runs on:
+
+* ``Cell("field", dirs, name)`` — local Int field ``name`` of the node at
+  child-directions ``dirs`` ('' = the node itself);
+* ``Cell("var", func, name)`` — a local Int variable of the enclosing
+  function's activation at the node;
+* ``Cell("ret", func, k)`` — the k-th return value of a ``func`` activation.
+  A ``return`` block *writes* ``ret(f,k)`` at its own node; a block reading a
+  variable that was bound by a call ``x = g(n.l, …)`` *reads* ``ret(g,k)``
+  at directions 'l'.
+
+Return-value cells are how the framework sees the read-after-write
+dependence between a child's return and its parent's use — the dependence
+whose violation the paper's Fig. 6b counterexample exhibits.
+
+Variable reads are classified by a per-function reaching-definitions pass:
+a read of ``x`` in block ``q`` resolves to the cells of every definition of
+``x`` that reaches ``q`` (call ghost → ``ret`` cell at the call's direction;
+plain assignment → ``var`` cell; parameter → ``var`` cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang import ast as A
+from ..lang.blocks import Block, BlockTable, PathItem
+from ..lang.exprs import aexpr_field_reads, aexpr_vars, bexpr_field_reads, bexpr_vars
+
+__all__ = ["Cell", "AccessSets", "ReadWriteAnalysis"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """An abstract memory cell relative to a block's node.
+
+    ``kind``: "field" | "var" | "ret".
+    ``dirs``: child directions from the block's node ('' = self).
+    ``name``: field name, ``func::var`` or ``func::k``.
+    """
+
+    kind: str
+    dirs: str
+    name: str
+
+    def absolute(self, node_path: str) -> Tuple[str, str, str]:
+        """The concrete cell when the block runs at ``node_path``."""
+        return (self.kind, node_path + self.dirs, self.name)
+
+    def __str__(self) -> str:
+        at = "n" + "".join("." + d for d in self.dirs)
+        return f"{self.kind}:{at}:{self.name}"
+
+
+@dataclass(frozen=True)
+class AccessSets:
+    reads: FrozenSet[Cell]
+    writes: FrozenSet[Cell]
+
+    @property
+    def readwrites(self) -> FrozenSet[Cell]:
+        return self.reads | self.writes
+
+
+class ReadWriteAnalysis:
+    """Access sets for every non-call block of a program."""
+
+    def __init__(
+        self,
+        table: BlockTable,
+        include_guard_reads: bool = True,
+    ) -> None:
+        self.table = table
+        self.include_guard_reads = include_guard_reads
+        self._defs = self._reaching_definitions()
+        self._sets: Dict[str, AccessSets] = {}
+        for b in table.all_noncalls:
+            self._sets[b.sid] = self._compute(b)
+
+    def access(self, block: Block) -> AccessSets:
+        return self._sets[block.sid]
+
+    def reads(self, block: Block) -> FrozenSet[Cell]:
+        return self._sets[block.sid].reads
+
+    def writes(self, block: Block) -> FrozenSet[Cell]:
+        return self._sets[block.sid].writes
+
+    # -- reaching definitions ----------------------------------------------------
+    def _reaching_definitions(self) -> Dict[Tuple[str, str], Set[Cell]]:
+        """(sid, varname) -> cells a read of varname in block sid refers to.
+
+        Walks every straight-line path to each block and takes the last
+        definition of each variable on that path (union over paths)."""
+        out: Dict[Tuple[str, str], Set[Cell]] = {}
+        for b in self.table.blocks:
+            fname = b.func
+            func = self.table.program.funcs[fname]
+            used = self._vars_read(b)
+            if not used:
+                continue
+            for path in self.table.straightline_paths(b):
+                last_def: Dict[str, Cell] = {
+                    p: Cell("var", "", f"{fname}::{p}") for p in func.int_params
+                }
+                for item in path:
+                    if item.kind != "block":
+                        continue
+                    pb = item.block
+                    assert pb is not None
+                    if pb.is_call:
+                        stmt = pb.stmt
+                        assert isinstance(stmt, A.CallStmt)
+                        dirs = stmt.loc.directions()
+                        for k, tgt in enumerate(stmt.targets):
+                            last_def[tgt] = Cell(
+                                "ret", dirs, f"{stmt.func}::{k}"
+                            )
+                    else:
+                        stmt2 = pb.stmt
+                        assert isinstance(stmt2, A.AssignBlock)
+                        for a in stmt2.assigns:
+                            if isinstance(a, A.VarAssign):
+                                last_def[a.name] = Cell(
+                                    "var", "", f"{fname}::{a.name}"
+                                )
+                for v in used:
+                    cell = last_def.get(v, Cell("var", "", f"{fname}::{v}"))
+                    out.setdefault((b.sid, v), set()).add(cell)
+        return out
+
+    def _vars_read(self, b: Block) -> Set[str]:
+        read: Set[str] = set()
+        if b.is_call:
+            stmt = b.stmt
+            assert isinstance(stmt, A.CallStmt)
+            for a in stmt.args:
+                read |= aexpr_vars(a)
+            return read
+        stmt2 = b.stmt
+        assert isinstance(stmt2, A.AssignBlock)
+        local_written: Set[str] = set()
+        for a in stmt2.assigns:
+            if isinstance(a, A.VarAssign):
+                read |= aexpr_vars(a.expr) - local_written
+                local_written.add(a.name)
+            elif isinstance(a, A.FieldAssign):
+                read |= aexpr_vars(a.expr) - local_written
+            else:
+                for e in a.exprs:
+                    read |= aexpr_vars(e) - local_written
+        return read
+
+    # -- per-block access sets ------------------------------------------------------
+    def _compute(self, b: Block) -> AccessSets:
+        fname = b.func
+        reads: Set[Cell] = set()
+        writes: Set[Cell] = set()
+        stmt = b.stmt
+        assert isinstance(stmt, A.AssignBlock)
+
+        def read_expr(e: A.AExpr) -> None:
+            for dirs, f in aexpr_field_reads(e):
+                reads.add(Cell("field", dirs, f))
+            for v in aexpr_vars(e):
+                for cell in self._defs.get((b.sid, v), {Cell("var", "", f"{fname}::{v}")}):
+                    reads.add(cell)
+
+        for a in stmt.assigns:
+            if isinstance(a, A.VarAssign):
+                read_expr(a.expr)
+                writes.add(Cell("var", "", f"{fname}::{a.name}"))
+            elif isinstance(a, A.FieldAssign):
+                read_expr(a.expr)
+                writes.add(Cell("field", a.loc.directions(), a.fieldname))
+            else:  # Return
+                for k, e in enumerate(a.exprs):
+                    read_expr(e)
+                    writes.add(Cell("ret", "", f"{fname}::{k}"))
+
+        if self.include_guard_reads:
+            # Condition reads guard the block: the paper's read sets include
+            # "all data fields and local variables occurred in an if-condition".
+            for cond, _pol in self.table.path_conditions(b):
+                for dirs, f in bexpr_field_reads(cond.cond):
+                    reads.add(Cell("field", dirs, f))
+                for v in bexpr_vars(cond.cond):
+                    for cell in self._defs.get(
+                        (b.sid, v), {Cell("var", "", f"{fname}::{v}")}
+                    ):
+                        reads.add(cell)
+        return AccessSets(frozenset(reads), frozenset(writes))
+
+    # -- dependence geometry -----------------------------------------------------
+    def conflict_offsets(
+        self, q1: Block, q2: Block
+    ) -> List[Tuple[str, str, str, str]]:
+        """Static cell conflicts between two non-call blocks.
+
+        Returns tuples ``(dirs1, dirs2, kind, name)``: running ``q1`` at
+        node ``x1`` and ``q2`` at ``x2`` touch a common cell (with at least
+        one write) iff ``x1 + dirs1 == x2 + dirs2`` for some returned tuple.
+        This is the static core of the paper's ``Dependence`` predicate.
+        ``field`` cells exist only on internal nodes; ``ret``/``var`` cells
+        exist on nil nodes too (a callee invoked on nil still returns).
+        """
+        a1, a2 = self.access(q1), self.access(q2)
+        out: List[Tuple[str, str, str, str]] = []
+        for c1 in a1.readwrites:
+            for c2 in a2.writes:
+                if (c1.kind, c1.name) == (c2.kind, c2.name):
+                    out.append((c1.dirs, c2.dirs, c1.kind, c1.name))
+        for c1 in a1.writes:
+            for c2 in a2.reads:
+                if (c1.kind, c1.name) == (c2.kind, c2.name):
+                    t = (c1.dirs, c2.dirs, c1.kind, c1.name)
+                    if t not in out:
+                        out.append(t)
+        return out

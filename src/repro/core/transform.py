@@ -1,0 +1,113 @@
+"""Program transformations and correspondence helpers.
+
+The framework *verifies* transformations; this module *performs* the
+mechanical ones (parallelize/sequentialize a program's top-level phases)
+and derives non-call block correspondences for hand-fused programs:
+
+* :func:`parallelize_entry` / :func:`sequentialize_entry` — rewrite the
+  entry function's top-level ``;``/``||`` composition (the transformation
+  behind T1.3 and T1.7);
+* :func:`correspondence_by_key` — match non-call blocks across programs by
+  canonical structural key (identical straight-line code), with an explicit
+  override map for blocks that fusion renamed, merged or split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from ..lang import ast as A
+from ..lang.blocks import BlockTable
+from ..lang.printer import block_key
+
+__all__ = [
+    "parallelize_entry",
+    "sequentialize_entry",
+    "correspondence_by_key",
+    "invert_correspondence",
+]
+
+
+def _clone_program(prog: A.Program, name: str) -> A.Program:
+    """Re-parse via the printer for a deep, independent copy."""
+    from ..lang.parser import parse_program
+    from ..lang.printer import program_source
+
+    return parse_program(program_source(prog), name=name, entry=prog.entry)
+
+
+def parallelize_entry(prog: A.Program, name: Optional[str] = None) -> A.Program:
+    """Turn the entry function's top-level sequence of calls into a
+    parallel composition (trailing non-call blocks stay sequential)."""
+    out = _clone_program(prog, name or f"{prog.name}-par")
+    entry = out.main
+    body = entry.body
+    stmts = list(body.stmts) if isinstance(body, A.Seq) else [body]
+    calls = [s for s in stmts if isinstance(s, A.CallStmt)]
+    rest = [s for s in stmts if not isinstance(s, A.CallStmt)]
+    if len(calls) < 2:
+        raise ValueError("entry has fewer than two top-level calls")
+    entry.body = A.Seq(tuple([A.Par(tuple(calls))] + rest))
+    return out
+
+
+def sequentialize_entry(prog: A.Program, name: Optional[str] = None) -> A.Program:
+    """Inverse of :func:`parallelize_entry`: flatten top-level parallel
+    compositions of the entry function into left-to-right sequence."""
+    out = _clone_program(prog, name or f"{prog.name}-seq")
+    entry = out.main
+
+    def flatten(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.Par):
+            return A.Seq(tuple(flatten(s) for s in stmt.stmts))
+        if isinstance(stmt, A.Seq):
+            return A.Seq(tuple(flatten(s) for s in stmt.stmts))
+        return stmt
+
+    from ..lang.parser import normalize_program
+
+    entry.body = flatten(entry.body)
+    return normalize_program(out)
+
+
+def correspondence_by_key(
+    p: A.Program,
+    p_prime: A.Program,
+    overrides: Optional[Mapping[str, Set[str]]] = None,
+    strict: bool = True,
+) -> Dict[str, Set[str]]:
+    """Derive the non-call correspondence by canonical block key.
+
+    Blocks whose straight-line code is textually identical (after printing)
+    are matched automatically; ``overrides`` supplies the fusion-renamed /
+    merged / split cases.  With ``strict``, every non-call block of ``p``
+    must end up mapped.
+    """
+    tp, tq = BlockTable(p), BlockTable(p_prime)
+    by_key: Dict[str, Set[str]] = {}
+    for b in tq.all_noncalls:
+        by_key.setdefault(block_key(b.stmt), set()).add(b.sid)
+    mapping: Dict[str, Set[str]] = {}
+    for b in tp.all_noncalls:
+        if overrides and b.sid in overrides:
+            mapping[b.sid] = set(overrides[b.sid])
+            continue
+        hit = by_key.get(block_key(b.stmt))
+        if hit:
+            mapping[b.sid] = set(hit)
+        elif strict:
+            raise ValueError(
+                f"no correspondence for block {b.sid} ({b.stmt}); "
+                "supply an override"
+            )
+    return mapping
+
+
+def invert_correspondence(
+    mapping: Mapping[str, Set[str]]
+) -> Dict[str, Set[str]]:
+    out: Dict[str, Set[str]] = {}
+    for k, vs in mapping.items():
+        for v in vs:
+            out.setdefault(v, set()).add(k)
+    return out

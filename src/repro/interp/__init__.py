@@ -1,0 +1,22 @@
+"""Concrete execution semantics for Retreet (interpreter, schedules, races)."""
+
+from .interpreter import ExecutionError, Result, run
+from .races import RacePair, find_races, program_races_on
+from .schedules import (
+    LeftFirst,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobin,
+    Scheduler,
+    all_schedules,
+    distinct_outcomes,
+)
+from .trace import Event, Iteration, Trace, concurrent
+
+__all__ = [
+    "ExecutionError", "Result", "run",
+    "RacePair", "find_races", "program_races_on",
+    "LeftFirst", "RandomScheduler", "ReplayScheduler", "RoundRobin",
+    "Scheduler", "all_schedules", "distinct_outcomes",
+    "Event", "Iteration", "Trace", "concurrent",
+]

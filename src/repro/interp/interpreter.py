@@ -1,0 +1,297 @@
+"""Concrete interpreter for Retreet with interleaving parallel semantics.
+
+Blocks are the atomic units (matching the paper's iteration granularity):
+``{A || B}`` executes as a serialized interleaving of the blocks of A and B,
+driven by a :class:`~repro.interp.schedules.Scheduler`.  All function
+parameters are call-by-value.
+
+The interpreter is the semantic ground truth of the reproduction: fusion
+verdicts are cross-checked by running original and transformed programs on
+random trees, and race counterexamples are replayed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..lang import ast as A
+from ..lang.blocks import Block, BlockTable
+from ..lang.exprs import eval_aexpr, eval_bexpr
+from ..trees.heap import NilAccessError, Tree, TreeNode
+from .schedules import LeftFirst, Scheduler
+from .trace import Context, Event, Iteration, Trace
+
+__all__ = ["run", "ExecutionError", "Result"]
+
+
+class ExecutionError(RuntimeError):
+    pass
+
+
+@dataclass
+class Result:
+    """Outcome of one execution."""
+
+    returns: Tuple[int, ...]
+    trace: Trace
+    tree: Tree  # the (possibly mutated) heap after execution
+
+    def field_snapshot(self, fields: Sequence[str]) -> Dict[str, Dict[str, int]]:
+        """node path -> {field: value} for the given fields."""
+        out: Dict[str, Dict[str, int]] = {}
+        for n in self.tree.nodes():
+            out[n.path] = {f: n.get(f) for f in fields}
+        return out
+
+
+@dataclass
+class _Frame:
+    """An activation record."""
+
+    func: A.Func
+    node: TreeNode
+    env: Dict[str, int]
+    context: Context
+    scope_id: int
+    returned: bool = False
+    ret_values: Tuple[int, ...] = ()
+
+
+class _Machine:
+    def __init__(
+        self,
+        program: A.Program,
+        tree: Tree,
+        scheduler: Scheduler,
+        record_events: bool,
+        strict_vars: bool,
+        max_steps: int,
+    ) -> None:
+        self.program = program
+        self.table = BlockTable(program)
+        self.tree = tree
+        self.scheduler = scheduler
+        self.record_events = record_events
+        self.strict_vars = strict_vars
+        self.max_steps = max_steps
+        self.trace = Trace()
+        self._scope_counter = 0
+        self._par_counter = 0
+        self._steps = 0
+
+    # -- heap helpers --------------------------------------------------------
+    def _resolve(self, loc: A.LExpr, frame: _Frame) -> TreeNode:
+        node = frame.node
+        for d in loc.directions():
+            if node.is_nil:
+                raise NilAccessError(
+                    f"dereference of nil at {node.path!r} in {frame.func.name}"
+                )
+            node = node.child(d)
+        return node
+
+    def _read_field(self, loc: A.LExpr, fname: str, frame: _Frame, sid: Optional[str]) -> int:
+        node = self._resolve(loc, frame)
+        if node.is_nil:
+            raise NilAccessError(
+                f"field read {loc}.{fname} hits nil in {frame.func.name}"
+            )
+        if self.record_events:
+            self.trace.events.append(
+                Event(
+                    "read", "field", node.path, fname,
+                    len(self.trace.iterations) - 1, sid, frame.context,
+                )
+            )
+        return node.get(fname)
+
+    def _write_field(self, loc: A.LExpr, fname: str, value: int, frame: _Frame, sid: str) -> None:
+        node = self._resolve(loc, frame)
+        if node.is_nil:
+            raise NilAccessError(
+                f"field write {loc}.{fname} hits nil in {frame.func.name}"
+            )
+        if self.record_events:
+            self.trace.events.append(
+                Event(
+                    "write", "field", node.path, fname,
+                    len(self.trace.iterations) - 1, sid, frame.context,
+                )
+            )
+        node.set(fname, value)
+
+    def _read_var(self, name: str, frame: _Frame) -> int:
+        if name not in frame.env:
+            if self.strict_vars:
+                raise ExecutionError(
+                    f"read of unassigned variable {name!r} in {frame.func.name}"
+                )
+            return 0
+        return frame.env[name]
+
+    # -- expression evaluation ------------------------------------------------
+    def _eval_a(self, e: A.AExpr, frame: _Frame, sid: Optional[str]) -> int:
+        return eval_aexpr(
+            e,
+            _EnvView(self, frame),
+            lambda loc, f: self._read_field(loc, f, frame, sid),
+        )
+
+    def _eval_b(self, b: A.BExpr, frame: _Frame, sid: Optional[str]) -> bool:
+        return eval_bexpr(
+            b,
+            _EnvView(self, frame),
+            lambda loc, f: self._read_field(loc, f, frame, sid),
+            lambda loc: self._resolve(loc, frame).is_nil,
+        )
+
+    # -- statement execution as cooperative generators --------------------------
+    def exec_stmt(self, stmt: A.Stmt, frame: _Frame) -> Generator[None, None, None]:
+        if frame.returned:
+            return
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionError(f"exceeded max_steps={self.max_steps}")
+        if isinstance(stmt, A.Skip):
+            return
+        if isinstance(stmt, A.Seq):
+            for s in stmt.stmts:
+                yield from self.exec_stmt(s, frame)
+                if frame.returned:
+                    return
+            return
+        if isinstance(stmt, A.If):
+            # Condition evaluation is attributed to the if, not a block.
+            branch = self._eval_b(stmt.cond, frame, None)
+            if branch:
+                yield from self.exec_stmt(stmt.then, frame)
+            elif stmt.els is not None:
+                yield from self.exec_stmt(stmt.els, frame)
+            return
+        if isinstance(stmt, A.Par):
+            self._par_counter += 1
+            pid = self._par_counter
+            branches = []
+            for i, s in enumerate(stmt.stmts):
+                bframe = _Frame(
+                    frame.func, frame.node, frame.env,
+                    frame.context + (("par", pid, i),), frame.scope_id,
+                )
+                branches.append(self.exec_stmt(s, bframe))
+            live = list(range(len(branches)))
+            while live:
+                pick = self.scheduler.choose(live)
+                try:
+                    next(branches[pick])
+                    yield
+                except StopIteration:
+                    live.remove(pick)
+            return
+        if isinstance(stmt, A.AssignBlock):
+            block = self.table.of_stmt(stmt)
+            self.trace.iterations.append(
+                Iteration(block.sid, frame.node.path, frame.context)
+            )
+            for a in stmt.assigns:
+                if isinstance(a, A.VarAssign):
+                    frame.env[a.name] = self._eval_a(a.expr, frame, block.sid)
+                elif isinstance(a, A.FieldAssign):
+                    v = self._eval_a(a.expr, frame, block.sid)
+                    self._write_field(a.loc, a.fieldname, v, frame, block.sid)
+                else:  # Return
+                    frame.ret_values = tuple(
+                        self._eval_a(e, frame, block.sid) for e in a.exprs
+                    )
+                    frame.returned = True
+                    yield
+                    return
+            yield
+            return
+        if isinstance(stmt, A.CallStmt):
+            block = self.table.of_stmt(stmt)
+            yield from self.exec_call(block, frame)
+            return
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def exec_call(self, block: Block, frame: _Frame) -> Generator[None, None, None]:
+        stmt = block.stmt
+        assert isinstance(stmt, A.CallStmt)
+        callee = self.program.funcs[stmt.func]
+        target_node = self._resolve(stmt.loc, frame)
+        args = tuple(self._eval_a(a, frame, block.sid) for a in stmt.args)
+        if len(args) != len(callee.int_params):
+            raise ExecutionError(
+                f"{block.sid}: call to {callee.name} with {len(args)} Int "
+                f"args, expected {len(callee.int_params)}"
+            )
+        self._scope_counter += 1
+        sub = _Frame(
+            callee,
+            target_node,
+            dict(zip(callee.int_params, args)),
+            frame.context + (("call", block.sid, target_node.path),),
+            self._scope_counter,
+        )
+        yield from self.exec_stmt(callee.body, sub)
+        if stmt.targets:
+            if len(sub.ret_values) != len(stmt.targets):
+                raise ExecutionError(
+                    f"{block.sid}: {callee.name} returned "
+                    f"{len(sub.ret_values)} values, expected {len(stmt.targets)}"
+                )
+            for t, v in zip(stmt.targets, sub.ret_values):
+                frame.env[t] = v
+
+
+class _EnvView(dict):
+    """Mapping view over a frame's environment with default-0 semantics."""
+
+    def __init__(self, machine: _Machine, frame: _Frame) -> None:
+        super().__init__()
+        self._m = machine
+        self._f = frame
+
+    def __getitem__(self, name: str) -> int:
+        return self._m._read_var(name, self._f)
+
+    def __contains__(self, name: str) -> bool:  # pragma: no cover
+        return True
+
+
+def run(
+    program: A.Program,
+    tree: Tree,
+    args: Sequence[int] = (),
+    scheduler: Optional[Scheduler] = None,
+    record_events: bool = True,
+    inplace: bool = False,
+    strict_vars: bool = False,
+    max_steps: int = 1_000_000,
+) -> Result:
+    """Execute ``program`` on ``tree``.
+
+    ``args`` are the Int arguments of the entry function.  Unless
+    ``inplace``, the tree is cloned first.  The scheduler controls the
+    interleaving of parallel regions (default: left branch runs to
+    completion first).
+    """
+    work = tree if inplace else tree.clone()
+    m = _Machine(
+        program, work, scheduler or LeftFirst(), record_events, strict_vars, max_steps
+    )
+    entry = program.main
+    if len(args) != len(entry.int_params):
+        raise ExecutionError(
+            f"entry {entry.name} takes {len(entry.int_params)} Int args, "
+            f"got {len(args)}"
+        )
+    m._scope_counter += 1
+    frame = _Frame(
+        entry, work.root, dict(zip(entry.int_params, args)),
+        (("call", "main", ""),), m._scope_counter,
+    )
+    for _ in m.exec_stmt(entry.body, frame):
+        pass
+    m.trace.returns = frame.ret_values
+    return Result(frame.ret_values, m.trace, work)

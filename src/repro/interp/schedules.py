@@ -1,0 +1,141 @@
+"""Schedulers for the interleaving semantics of ``{A || B}``.
+
+A scheduler picks which live parallel branch executes its next atomic block.
+``all_schedules`` exhaustively enumerates interleavings (used to test
+data-race verdicts on small trees), ``RandomScheduler`` samples them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "Scheduler",
+    "LeftFirst",
+    "RoundRobin",
+    "RandomScheduler",
+    "ReplayScheduler",
+    "all_schedules",
+    "distinct_outcomes",
+]
+
+
+class Scheduler:
+    """Base: choose the branch index (from ``live``) to step next."""
+
+    def choose(self, live: Sequence[int]) -> int:
+        raise NotImplementedError
+
+
+class LeftFirst(Scheduler):
+    """Run the leftmost live branch to completion first (sequentialization)."""
+
+    def choose(self, live: Sequence[int]) -> int:
+        return live[0]
+
+
+class RoundRobin(Scheduler):
+    """Alternate among live branches, one atomic block at a time."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def choose(self, live: Sequence[int]) -> int:
+        later = [i for i in live if i > self._last]
+        pick = later[0] if later else live[0]
+        self._last = pick
+        return pick
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniformly random interleaving."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, live: Sequence[int]) -> int:
+        return self._rng.choice(list(live))
+
+
+class ReplayScheduler(Scheduler):
+    """Replay a recorded decision sequence; fall back to left-first."""
+
+    def __init__(self, decisions: Sequence[int]) -> None:
+        self.decisions = list(decisions)
+        self._i = 0
+        self.recorded: List[int] = []
+
+    def choose(self, live: Sequence[int]) -> int:
+        if self._i < len(self.decisions) and self.decisions[self._i] in live:
+            pick = self.decisions[self._i]
+        else:
+            pick = live[0]
+        self._i += 1
+        self.recorded.append(pick)
+        return pick
+
+
+class _TrackingScheduler(Scheduler):
+    """Follows a prefix of decisions, recording branch-point fan-out."""
+
+    def __init__(self, prefix: Sequence[int]) -> None:
+        self.prefix = list(prefix)
+        self._i = 0
+        self.decisions: List[int] = []
+        self.fanout: List[List[int]] = []
+
+    def choose(self, live: Sequence[int]) -> int:
+        live = list(live)
+        if self._i < len(self.prefix):
+            pick = self.prefix[self._i]
+            if pick not in live:
+                pick = live[0]
+        else:
+            pick = live[0]
+        self._i += 1
+        self.decisions.append(pick)
+        self.fanout.append(live)
+        return pick
+
+
+def all_schedules(
+    run_with: Callable[[Scheduler], object],
+    max_schedules: int = 10_000,
+) -> Iterator[object]:
+    """Enumerate every interleaving by DFS over scheduler decision points.
+
+    ``run_with`` executes the program under the given scheduler and returns
+    an arbitrary outcome object.  Yields one outcome per distinct schedule.
+    """
+    stack: List[List[int]] = [[]]
+    count = 0
+    while stack:
+        prefix = stack.pop()
+        sched = _TrackingScheduler(prefix)
+        outcome = run_with(sched)
+        count += 1
+        if count > max_schedules:
+            raise RuntimeError(f"more than {max_schedules} schedules")
+        yield outcome
+        # Fork on the first decision point at or after the prefix where
+        # alternatives remain unexplored.
+        for k in range(len(sched.decisions) - 1, len(prefix) - 1, -1):
+            chosen = sched.decisions[k]
+            for alt in sched.fanout[k]:
+                if alt > chosen:
+                    stack.append(sched.decisions[:k] + [alt])
+
+
+def distinct_outcomes(
+    run_with: Callable[[Scheduler], object],
+    key: Optional[Callable[[object], object]] = None,
+    max_schedules: int = 10_000,
+) -> List[object]:
+    """All schedule outcomes, deduplicated by ``key`` (default: identity)."""
+    seen = {}
+    for outcome in all_schedules(run_with, max_schedules):
+        k = key(outcome) if key else outcome
+        if k not in seen:
+            seen[k] = outcome
+    return list(seen.values())

@@ -1,0 +1,87 @@
+"""Execution traces: iterations, access events and happens-before.
+
+An execution of a Retreet program is a sequence of *iterations* — each runs
+one non-call block on one tree node (paper §3).  The interpreter additionally
+records every field/variable access as an :class:`Event` tagged with its
+*dynamic context*: the path through the dynamic call/compose tree.  Two
+events are concurrent iff the first differing step of their contexts is a
+pair of distinct branches of the same dynamic ``par`` — exact happens-before
+for fork-join parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Iteration", "Event", "Trace", "concurrent", "Context"]
+
+# A dynamic context is a tuple of steps.  Steps:
+#   ("call", call-site sid, node path)   — entered a function call
+#   ("par", id(par-instance), branch)    — inside branch of a dynamic par
+Context = Tuple[Tuple, ...]
+
+
+@dataclass(frozen=True)
+class Iteration:
+    """One execution of a non-call block on a node."""
+
+    sid: str
+    node: str  # tree path of the node the function runs on
+    context: Context
+
+    def __str__(self) -> str:
+        return f"({self.sid}, {self.node or 'root'})"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single memory access."""
+
+    kind: str  # "read" | "write"
+    target: str  # "field" | "var"
+    node: str  # tree path ("" for root); for vars: the frame scope id
+    name: str  # field or variable name
+    iteration: int  # index into Trace.iterations (-1 for condition reads)
+    sid: Optional[str]  # block sid if attributable
+    context: Context = ()
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+
+def concurrent(a: Context, b: Context) -> bool:
+    """True iff contexts diverge at distinct branches of the same par."""
+    k = 0
+    while k < len(a) and k < len(b) and a[k] == b[k]:
+        k += 1
+    if k >= len(a) or k >= len(b):
+        return False
+    sa, sb = a[k], b[k]
+    return (
+        sa[0] == "par"
+        and sb[0] == "par"
+        and sa[1] == sb[1]
+        and sa[2] != sb[2]
+    )
+
+
+@dataclass
+class Trace:
+    """Full record of one execution."""
+
+    iterations: List[Iteration] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    returns: Tuple[int, ...] = ()
+
+    def iteration_pairs(self) -> List[Tuple[str, str]]:
+        """(sid, node) pairs in execution order — the paper's sequence of
+        iterations."""
+        return [(it.sid, it.node) for it in self.iterations]
+
+    def field_events(self) -> List[Event]:
+        return [e for e in self.events if e.target == "field"]
+
+    def __len__(self) -> int:
+        return len(self.iterations)

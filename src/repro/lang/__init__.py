@@ -1,0 +1,31 @@
+"""The Retreet tree-traversal language (paper §2)."""
+
+from . import ast
+from .blocks import Block, BlockTable, CondInfo, PathItem, Relation
+from .parser import ParseError, normalize_program, parse_program
+from .printer import block_key, program_source
+from .rewrites import (
+    flag_guard_reads,
+    parse_with_mutation,
+    simulate_mutation,
+)
+from .validate import ValidationError, validate
+
+__all__ = [
+    "ast",
+    "Block",
+    "BlockTable",
+    "CondInfo",
+    "PathItem",
+    "Relation",
+    "ParseError",
+    "normalize_program",
+    "parse_program",
+    "block_key",
+    "program_source",
+    "ValidationError",
+    "validate",
+    "flag_guard_reads",
+    "parse_with_mutation",
+    "simulate_mutation",
+]

@@ -1,0 +1,390 @@
+"""Abstract syntax for the Retreet tree-traversal language (paper §2, Fig. 2).
+
+The AST mirrors the paper's grammar with two pragmatic generalizations that
+the paper itself uses in its figures:
+
+* calls may return a *vector* of Int values (Fig. 6's ``Fused`` returns a
+  pair), so ``Return`` and ``CallStmt`` carry tuples;
+* arithmetic includes ``Max``/``Min`` (Fig. 9's ``ComputeRouting`` uses
+  ``MAX``/``MIN`` of three arguments).  Both are pure expressions, so weakest
+  preconditions still work by substitution; the LIA layer eliminates them by
+  case splitting.
+
+AST nodes use *identity* equality (``eq=False``) — two textually identical
+``return 0`` blocks in different functions are different blocks, exactly as
+the paper requires ("two different call sites of the same function are
+considered two different statements").  Structural comparison, when needed
+(bisimulation), goes through :mod:`repro.lang.printer` canonical strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "LExpr", "LocVar", "LocField",
+    "AExpr", "Const", "Var", "FieldRead", "Add", "Sub", "Neg", "Max", "Min",
+    "BExpr", "BTrue", "IsNil", "Gt", "Eq0", "Not", "BAnd", "BOr",
+    "Assign", "FieldAssign", "VarAssign", "Return",
+    "Stmt", "CallStmt", "AssignBlock", "If", "Seq", "Par", "Skip",
+    "Func", "Program",
+    "loc_l", "loc_r", "loc_n",
+]
+
+
+# ---------------------------------------------------------------------------
+# Location expressions
+# ---------------------------------------------------------------------------
+
+class LExpr:
+    """A location expression: the Loc parameter or a chain of child fields."""
+
+    __slots__ = ()
+
+    def directions(self) -> str:
+        """The chain of child directions below the Loc variable, e.g. 'lr'."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LocVar(LExpr):
+    """The (single) Loc parameter of the enclosing function."""
+
+    name: str = "n"
+
+    def directions(self) -> str:
+        return ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LocField(LExpr):
+    """``base.l`` or ``base.r``."""
+
+    base: LExpr
+    direction: str  # 'l' or 'r'
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("l", "r"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+    def directions(self) -> str:
+        return self.base.directions() + self.direction
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.direction}"
+
+
+def loc_n(name: str = "n") -> LocVar:
+    return LocVar(name)
+
+
+def loc_l(base: Optional[LExpr] = None) -> LocField:
+    return LocField(base or LocVar(), "l")
+
+
+def loc_r(base: Optional[LExpr] = None) -> LocField:
+    return LocField(base or LocVar(), "r")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic expressions
+# ---------------------------------------------------------------------------
+
+class AExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(AExpr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(AExpr):
+    """An Int parameter, local variable, or call-return ghost."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldRead(AExpr):
+    """``loc.f`` — read local Int field ``f`` of the node at ``loc``."""
+
+    loc: LExpr
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.loc}.{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class Add(AExpr):
+    left: AExpr
+    right: AExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Sub(AExpr):
+    left: AExpr
+    right: AExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} - {self.right})"
+
+
+@dataclass(frozen=True)
+class Neg(AExpr):
+    expr: AExpr
+
+    def __str__(self) -> str:
+        return f"(-{self.expr})"
+
+
+@dataclass(frozen=True)
+class Max(AExpr):
+    args: Tuple[AExpr, ...]
+
+    def __str__(self) -> str:
+        return "max(" + ", ".join(map(str, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Min(AExpr):
+    args: Tuple[AExpr, ...]
+
+    def __str__(self) -> str:
+        return "min(" + ", ".join(map(str, self.args)) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions
+# ---------------------------------------------------------------------------
+
+class BExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BTrue(BExpr):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class IsNil(BExpr):
+    """``loc == nil`` — a *structural* condition."""
+
+    loc: LExpr
+
+    def __str__(self) -> str:
+        return f"{self.loc} == nil"
+
+
+@dataclass(frozen=True)
+class Gt(BExpr):
+    """``expr > 0`` — the paper's atomic arithmetic condition."""
+
+    expr: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.expr} > 0"
+
+
+@dataclass(frozen=True)
+class Eq0(BExpr):
+    """``expr == 0`` — convenience atom (sugar for !(e>0) && !(-e>0))."""
+
+    expr: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.expr} == 0"
+
+
+@dataclass(frozen=True)
+class Not(BExpr):
+    expr: BExpr
+
+    def __str__(self) -> str:
+        return f"!({self.expr})"
+
+
+@dataclass(frozen=True)
+class BAnd(BExpr):
+    left: BExpr
+    right: BExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class BOr(BExpr):
+    left: BExpr
+    right: BExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    __slots__ = ()
+
+
+class Assign:
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class FieldAssign(Assign):
+    """``loc.f = expr``"""
+
+    loc: LExpr
+    fieldname: str
+    expr: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.loc}.{self.fieldname} = {self.expr}"
+
+
+@dataclass(eq=False)
+class VarAssign(Assign):
+    """``v = expr``"""
+
+    name: str
+    expr: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.expr}"
+
+
+@dataclass(eq=False)
+class Return(Assign):
+    """``return e1, ..., ek`` — terminates the enclosing function."""
+
+    exprs: Tuple[AExpr, ...]
+
+    def __str__(self) -> str:
+        return "return " + ", ".join(map(str, self.exprs))
+
+
+@dataclass(eq=False)
+class CallStmt(Stmt):
+    """``t1, ..., tk = g(loc, a1, ..., am)`` — a call *block*."""
+
+    targets: Tuple[str, ...]
+    func: str
+    loc: LExpr
+    args: Tuple[AExpr, ...] = ()
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.targets) + " = " if self.targets else ""
+        argstr = ", ".join([str(self.loc)] + [str(a) for a in self.args])
+        return f"{lhs}{self.func}({argstr})"
+
+
+@dataclass(eq=False)
+class AssignBlock(Stmt):
+    """A straight-line sequence of non-call assignments — a non-call *block*."""
+
+    assigns: Tuple[Assign, ...]
+
+    def __str__(self) -> str:
+        return "; ".join(map(str, self.assigns))
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: BExpr
+    then: Stmt
+    els: Optional[Stmt] = None
+
+    def __str__(self) -> str:
+        s = f"if ({self.cond}) {{ {self.then} }}"
+        if self.els is not None:
+            s += f" else {{ {self.els} }}"
+        return s
+
+
+@dataclass(eq=False)
+class Seq(Stmt):
+    stmts: Tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        return "; ".join(map(str, self.stmts))
+
+
+@dataclass(eq=False)
+class Par(Stmt):
+    """``{ A || B || ... }`` — statement-level interleaving semantics."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        return "{ " + " || ".join(map(str, self.stmts)) + " }"
+
+
+@dataclass(eq=False)
+class Skip(Stmt):
+    """Empty statement (used by rewrites; not a block)."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+# ---------------------------------------------------------------------------
+# Functions and programs
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False)
+class Func:
+    """``g(n, v1, ..., vk) { body }`` — single Loc parameter, Int params."""
+
+    name: str
+    loc_param: str
+    int_params: Tuple[str, ...]
+    body: Stmt
+    n_returns: int = 1
+
+    def __str__(self) -> str:
+        params = ", ".join([self.loc_param] + list(self.int_params))
+        return f"{self.name}({params}) {{ {self.body} }}"
+
+
+@dataclass(eq=False)
+class Program:
+    """A Retreet program: a set of functions with a designated entry point."""
+
+    funcs: Dict[str, Func]
+    entry: str = "Main"
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.funcs:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+
+    @property
+    def main(self) -> Func:
+        return self.funcs[self.entry]
+
+    def func(self, name: str) -> Func:
+        return self.funcs[name]
+
+    def __str__(self) -> str:
+        return "\n".join(str(f) for f in self.funcs.values())

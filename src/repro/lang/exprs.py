@@ -1,0 +1,183 @@
+"""Expression utilities shared by the interpreter, analyses and encoders.
+
+Evaluation is parameterized by how location expressions resolve to concrete
+tree nodes, so the same code serves the concrete interpreter (real heap),
+speculative execution (Def. 1 — heap reads may be symbolic) and witness
+replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Mapping, Set, Tuple
+
+from . import ast as A
+
+__all__ = [
+    "eval_aexpr",
+    "eval_bexpr",
+    "aexpr_vars",
+    "bexpr_vars",
+    "aexpr_field_reads",
+    "bexpr_field_reads",
+    "subst_aexpr",
+    "subst_bexpr",
+    "iter_aexprs",
+]
+
+
+class SymbolicValueError(Exception):
+    """Raised when evaluation needs a value the environment cannot provide."""
+
+
+def eval_aexpr(
+    e: A.AExpr,
+    env: Mapping[str, int],
+    read_field: Callable[[A.LExpr, str], int],
+) -> int:
+    """Evaluate an arithmetic expression.
+
+    ``env`` supplies Int variables; ``read_field`` resolves ``loc.f`` reads.
+    """
+    if isinstance(e, A.Const):
+        return e.value
+    if isinstance(e, A.Var):
+        try:
+            return env[e.name]
+        except KeyError:
+            raise SymbolicValueError(f"unbound variable {e.name!r}") from None
+    if isinstance(e, A.FieldRead):
+        return read_field(e.loc, e.fieldname)
+    if isinstance(e, A.Add):
+        return eval_aexpr(e.left, env, read_field) + eval_aexpr(e.right, env, read_field)
+    if isinstance(e, A.Sub):
+        return eval_aexpr(e.left, env, read_field) - eval_aexpr(e.right, env, read_field)
+    if isinstance(e, A.Neg):
+        return -eval_aexpr(e.expr, env, read_field)
+    if isinstance(e, A.Max):
+        return max(eval_aexpr(a, env, read_field) for a in e.args)
+    if isinstance(e, A.Min):
+        return min(eval_aexpr(a, env, read_field) for a in e.args)
+    raise TypeError(f"unknown AExpr {e!r}")
+
+
+def eval_bexpr(
+    b: A.BExpr,
+    env: Mapping[str, int],
+    read_field: Callable[[A.LExpr, str], int],
+    is_nil: Callable[[A.LExpr], bool],
+) -> bool:
+    """Evaluate a boolean expression; ``is_nil`` resolves nil tests."""
+    if isinstance(b, A.BTrue):
+        return True
+    if isinstance(b, A.IsNil):
+        return is_nil(b.loc)
+    if isinstance(b, A.Gt):
+        return eval_aexpr(b.expr, env, read_field) > 0
+    if isinstance(b, A.Eq0):
+        return eval_aexpr(b.expr, env, read_field) == 0
+    if isinstance(b, A.Not):
+        return not eval_bexpr(b.expr, env, read_field, is_nil)
+    if isinstance(b, A.BAnd):
+        return eval_bexpr(b.left, env, read_field, is_nil) and eval_bexpr(
+            b.right, env, read_field, is_nil
+        )
+    if isinstance(b, A.BOr):
+        return eval_bexpr(b.left, env, read_field, is_nil) or eval_bexpr(
+            b.right, env, read_field, is_nil
+        )
+    raise TypeError(f"unknown BExpr {b!r}")
+
+
+def iter_aexprs(e: A.AExpr) -> Iterator[A.AExpr]:
+    """Preorder iteration over sub-expressions."""
+    yield e
+    if isinstance(e, (A.Add, A.Sub)):
+        yield from iter_aexprs(e.left)
+        yield from iter_aexprs(e.right)
+    elif isinstance(e, A.Neg):
+        yield from iter_aexprs(e.expr)
+    elif isinstance(e, (A.Max, A.Min)):
+        for a in e.args:
+            yield from iter_aexprs(a)
+
+
+def aexpr_vars(e: A.AExpr) -> Set[str]:
+    return {x.name for x in iter_aexprs(e) if isinstance(x, A.Var)}
+
+
+def aexpr_field_reads(e: A.AExpr) -> Set[Tuple[str, str]]:
+    """Field reads as ``(directions, fieldname)`` pairs, e.g. ('l', 'v')."""
+    return {
+        (x.loc.directions(), x.fieldname)
+        for x in iter_aexprs(e)
+        if isinstance(x, A.FieldRead)
+    }
+
+
+def _iter_batoms(b: A.BExpr) -> Iterator[A.BExpr]:
+    if isinstance(b, A.Not):
+        yield from _iter_batoms(b.expr)
+    elif isinstance(b, (A.BAnd, A.BOr)):
+        yield from _iter_batoms(b.left)
+        yield from _iter_batoms(b.right)
+    else:
+        yield b
+
+
+def bexpr_vars(b: A.BExpr) -> Set[str]:
+    out: Set[str] = set()
+    for atom in _iter_batoms(b):
+        if isinstance(atom, (A.Gt, A.Eq0)):
+            out |= aexpr_vars(atom.expr)
+    return out
+
+
+def bexpr_field_reads(b: A.BExpr) -> Set[Tuple[str, str]]:
+    out: Set[Tuple[str, str]] = set()
+    for atom in _iter_batoms(b):
+        if isinstance(atom, (A.Gt, A.Eq0)):
+            out |= aexpr_field_reads(atom.expr)
+    return out
+
+
+def subst_aexpr(e: A.AExpr, sub: Dict[object, A.AExpr]) -> A.AExpr:
+    """Substitute variables and field reads in an arithmetic expression.
+
+    Keys of ``sub`` may be variable names (str) or ``(directions, field)``
+    pairs matching :func:`aexpr_field_reads`.  This implements the textual
+    substitution underlying the weakest-precondition rules (paper Fig. 12).
+    """
+    if isinstance(e, A.Const):
+        return e
+    if isinstance(e, A.Var):
+        return sub.get(e.name, e)
+    if isinstance(e, A.FieldRead):
+        key = (e.loc.directions(), e.fieldname)
+        return sub.get(key, e)
+    if isinstance(e, A.Add):
+        return A.Add(subst_aexpr(e.left, sub), subst_aexpr(e.right, sub))
+    if isinstance(e, A.Sub):
+        return A.Sub(subst_aexpr(e.left, sub), subst_aexpr(e.right, sub))
+    if isinstance(e, A.Neg):
+        return A.Neg(subst_aexpr(e.expr, sub))
+    if isinstance(e, A.Max):
+        return A.Max(tuple(subst_aexpr(a, sub) for a in e.args))
+    if isinstance(e, A.Min):
+        return A.Min(tuple(subst_aexpr(a, sub) for a in e.args))
+    raise TypeError(f"unknown AExpr {e!r}")
+
+
+def subst_bexpr(b: A.BExpr, sub: Dict[object, A.AExpr]) -> A.BExpr:
+    if isinstance(b, (A.BTrue, A.IsNil)):
+        return b
+    if isinstance(b, A.Gt):
+        return A.Gt(subst_aexpr(b.expr, sub))
+    if isinstance(b, A.Eq0):
+        return A.Eq0(subst_aexpr(b.expr, sub))
+    if isinstance(b, A.Not):
+        return A.Not(subst_bexpr(b.expr, sub))
+    if isinstance(b, A.BAnd):
+        return A.BAnd(subst_bexpr(b.left, sub), subst_bexpr(b.right, sub))
+    if isinstance(b, A.BOr):
+        return A.BOr(subst_bexpr(b.left, sub), subst_bexpr(b.right, sub))
+    raise TypeError(f"unknown BExpr {b!r}")

@@ -1,0 +1,78 @@
+"""Tokenizer for the ``.retreet`` concrete syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize"]
+
+KEYWORDS = {"if", "else", "return", "nil", "true", "max", "min", "skip"}
+
+# Multi-character operators first so maximal munch works.
+SYMBOLS = [
+    "||", "&&", "==", "!=", ">=", "<=",
+    "(", ")", "{", "}", ",", ";", ".", "=", ">", "<", "!", "+", "-",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "int" | "kw" | "sym" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
+
+
+class LexError(SyntaxError):
+    pass
+
+
+def tokenize(src: str) -> List[Token]:
+    """Tokenize; comments run from ``//`` or ``#`` to end of line."""
+    toks: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(src)
+    while i < n:
+        ch = src[i]
+        if ch == "\n":
+            i, line, col = i + 1, line + 1, 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if src.startswith("//", i) or ch == "#":
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and src[j].isdigit():
+                j += 1
+            toks.append(Token("int", src[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            word = src[i:j]
+            toks.append(Token("kw" if word in KEYWORDS else "id", word, line, col))
+            col += j - i
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if src.startswith(sym, i):
+                toks.append(Token("sym", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+    toks.append(Token("eof", "", line, col))
+    return toks

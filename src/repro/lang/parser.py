@@ -1,0 +1,469 @@
+"""Recursive-descent parser for the ``.retreet`` concrete syntax.
+
+Syntax sketch (see ``examples/`` and the case-study sources for full
+programs)::
+
+    Odd(n) {
+      if (n == nil) { return 0 }
+      else {
+        ls = Even(n.l);
+        rs = Even(n.r);
+        return ls + rs + 1
+      }
+    }
+
+    Main(n) {
+      { o = Odd(n) || e = Even(n) };
+      return o, e
+    }
+
+Notes:
+
+* ``{ A || B }`` is parallel composition; a plain ``{ ... }`` groups.
+* consecutive non-call assignments are coalesced into a single *block*
+  (the paper's ``Assgn+``) by :func:`normalize_program`;
+* comparison sugar ``a < b``, ``a >= b``, ``a == b`` … is normalized onto the
+  paper's atoms ``AExpr > 0`` / ``== 0``;
+* tree mutation (``n.l = …``) is rejected at parse time with a pointer to the
+  mutation-simulation rewrite (paper §5, `repro.lang.rewrites`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as A
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse_program", "parse_expr", "normalize_program"]
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class _Parser:
+    def __init__(self, toks: List[Token]) -> None:
+        self.toks = toks
+        self.i = 0
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.i]
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def eat(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r} "
+                f"at line {self.cur.line}, col {self.cur.col}"
+            )
+        t = self.cur
+        self.i += 1
+        return t
+
+    def try_eat(self, kind: str, text: Optional[str] = None) -> bool:
+        if self.at(kind, text):
+            self.i += 1
+            return True
+        return False
+
+    # -- program / functions --------------------------------------------------
+    def program(self, name: str, entry: str) -> A.Program:
+        funcs: Dict[str, A.Func] = {}
+        while not self.at("eof"):
+            f = self.func()
+            if f.name in funcs:
+                raise ParseError(f"duplicate function {f.name!r}")
+            funcs[f.name] = f
+        if not funcs:
+            raise ParseError("empty program")
+        if entry not in funcs:
+            entry = next(iter(funcs))
+        prog = A.Program(funcs, entry=entry, name=name)
+        _infer_return_arities(prog)
+        return prog
+
+    def func(self) -> A.Func:
+        fname = self.eat("id").text
+        self.eat("sym", "(")
+        params: List[str] = [self.eat("id").text]
+        while self.try_eat("sym", ","):
+            params.append(self.eat("id").text)
+        self.eat("sym", ")")
+        body = self.braced_stmt()
+        return A.Func(fname, params[0], tuple(params[1:]), body)
+
+    # -- statements -------------------------------------------------------------
+    def braced_stmt(self) -> A.Stmt:
+        """Parse ``{ ... }``: a sequence, or a parallel composition."""
+        self.eat("sym", "{")
+        branches: List[A.Stmt] = [self.stmt_seq(stop={"}", "||"})]
+        while self.try_eat("sym", "||"):
+            branches.append(self.stmt_seq(stop={"}", "||"}))
+        self.eat("sym", "}")
+        if len(branches) > 1:
+            return A.Par(tuple(branches))
+        return branches[0]
+
+    def stmt_seq(self, stop: set) -> A.Stmt:
+        stmts: List[A.Stmt] = []
+        while True:
+            if self.cur.kind == "sym" and self.cur.text in stop:
+                break
+            if self.at("eof"):
+                break
+            stmts.append(self.stmt())
+            while self.try_eat("sym", ";"):
+                pass
+        if not stmts:
+            return A.Skip()
+        if len(stmts) == 1:
+            return stmts[0]
+        return A.Seq(tuple(stmts))
+
+    def stmt(self) -> A.Stmt:
+        if self.at("kw", "if"):
+            return self.if_stmt()
+        if self.at("sym", "{"):
+            return self.braced_stmt()
+        if self.at("kw", "skip"):
+            self.eat("kw", "skip")
+            return A.Skip()
+        if self.at("kw", "return"):
+            self.eat("kw", "return")
+            exprs = [self.aexpr()]
+            while self.try_eat("sym", ","):
+                exprs.append(self.aexpr())
+            return A.AssignBlock((A.Return(tuple(exprs)),))
+        return self.assign_or_call()
+
+    def if_stmt(self) -> A.If:
+        self.eat("kw", "if")
+        self.eat("sym", "(")
+        cond = self.bexpr()
+        self.eat("sym", ")")
+        then = self.stmt() if not self.at("sym", "{") else self.braced_stmt()
+        els: Optional[A.Stmt] = None
+        if self.try_eat("kw", "else"):
+            if self.at("kw", "if"):
+                els = self.if_stmt()
+            elif self.at("sym", "{"):
+                els = self.braced_stmt()
+            else:
+                els = self.stmt()
+        return A.If(cond, then, els)
+
+    def assign_or_call(self) -> A.Stmt:
+        """Parse ``targets = call(...)``, ``v = e``, ``loc.f = e`` or a bare
+        call ``g(loc, ...)``."""
+        # Optional parenthesized target tuple: (a, b) = ...
+        if self.at("sym", "("):
+            save = self.i
+            try:
+                self.eat("sym", "(")
+                targets = [self.eat("id").text]
+                while self.try_eat("sym", ","):
+                    targets.append(self.eat("id").text)
+                self.eat("sym", ")")
+                self.eat("sym", "=")
+            except ParseError:
+                self.i = save
+                raise
+            return self.rhs_after_targets(tuple(targets))
+
+        first = self.eat("id").text
+        # Dotted lhs: location step(s) and/or a field name.
+        if self.at("sym", "."):
+            loc: A.LExpr = A.LocVar(first)
+            segs: List[str] = []
+            while self.try_eat("sym", "."):
+                segs.append(self.eat_any_name())
+            # All but the last segment must be directions.
+            for s in segs[:-1]:
+                if s not in ("l", "r"):
+                    raise ParseError(f"bad location path segment {s!r}")
+                loc = A.LocField(loc, s)
+            last = segs[-1]
+            if self.at("sym", "="):
+                self.eat("sym", "=")
+                if last in ("l", "r"):
+                    raise ParseError(
+                        f"tree mutation '{loc}.{last} = ...' is not allowed in "
+                        "Retreet; simulate it with mutable local fields "
+                        "(see repro.lang.rewrites.simulate_mutation)"
+                    )
+                return A.AssignBlock((A.FieldAssign(loc, last, self.aexpr()),))
+            raise ParseError(f"expected '=' after field l-value at line {self.cur.line}")
+        if self.at("sym", "("):
+            # bare call: g(loc, args)
+            return self.call_tail((), first)
+        if self.try_eat("sym", ","):
+            targets = [first, self.eat("id").text]
+            while self.try_eat("sym", ","):
+                targets.append(self.eat("id").text)
+            self.eat("sym", "=")
+            return self.rhs_after_targets(tuple(targets))
+        self.eat("sym", "=")
+        return self.rhs_after_targets((first,))
+
+    def eat_any_name(self) -> str:
+        if self.cur.kind in ("id", "kw"):
+            t = self.cur
+            self.i += 1
+            return t.text
+        raise ParseError(f"expected name at line {self.cur.line}")
+
+    def rhs_after_targets(self, targets: Tuple[str, ...]) -> A.Stmt:
+        # Call if an identifier followed by '(' comes next.
+        if self.cur.kind == "id" and self.toks[self.i + 1].text == "(":
+            fname = self.eat("id").text
+            return self.call_tail(targets, fname)
+        # Tuple rhs: e1, e2, ... assigned pointwise.
+        exprs = [self.aexpr()]
+        while self.try_eat("sym", ","):
+            exprs.append(self.aexpr())
+        if len(exprs) != len(targets):
+            raise ParseError(
+                f"assignment arity mismatch: {len(targets)} targets, "
+                f"{len(exprs)} expressions at line {self.cur.line}"
+            )
+        return A.AssignBlock(
+            tuple(A.VarAssign(t, e) for t, e in zip(targets, exprs))
+        )
+
+    def call_tail(self, targets: Tuple[str, ...], fname: str) -> A.CallStmt:
+        self.eat("sym", "(")
+        loc = self.loc_expr()
+        args: List[A.AExpr] = []
+        while self.try_eat("sym", ","):
+            args.append(self.aexpr())
+        self.eat("sym", ")")
+        return A.CallStmt(targets, fname, loc, tuple(args))
+
+    # -- expressions --------------------------------------------------------------
+    def loc_expr(self) -> A.LExpr:
+        name = self.eat("id").text
+        loc: A.LExpr = A.LocVar(name)
+        while self.at("sym", ".") and self.toks[self.i + 1].text in ("l", "r"):
+            # Only consume .l/.r as location steps when not a field read
+            # followed by '='... in expression context l/r are directions.
+            self.eat("sym", ".")
+            loc = A.LocField(loc, self.eat_any_name())
+        return loc
+
+    def bexpr(self) -> A.BExpr:
+        return self.b_or()
+
+    def b_or(self) -> A.BExpr:
+        left = self.b_and()
+        while self.try_eat("sym", "||"):
+            left = A.BOr(left, self.b_and())
+        return left
+
+    def b_and(self) -> A.BExpr:
+        left = self.b_atom()
+        while self.try_eat("sym", "&&"):
+            left = A.BAnd(left, self.b_atom())
+        return left
+
+    def b_atom(self) -> A.BExpr:
+        if self.try_eat("sym", "!"):
+            return A.Not(self.b_atom())
+        if self.at("kw", "true"):
+            self.eat("kw", "true")
+            return A.BTrue()
+        if self.at("sym", "("):
+            # Could be parenthesized bexpr or an aexpr comparison; try bexpr.
+            save = self.i
+            try:
+                self.eat("sym", "(")
+                inner = self.bexpr()
+                self.eat("sym", ")")
+                return inner
+            except ParseError:
+                self.i = save
+        # aexpr cmp (aexpr | nil)
+        left = self.aexpr()
+        if self.cur.kind == "sym" and self.cur.text in ("==", "!=", ">", "<", ">=", "<="):
+            op = self.eat("sym").text
+            if self.at("kw", "nil"):
+                self.eat("kw", "nil")
+                loc = _as_loc(left)
+                if loc is None:
+                    raise ParseError("nil comparison requires a location expression")
+                return A.IsNil(loc) if op == "==" else A.Not(A.IsNil(loc))
+            right = self.aexpr()
+            return _compare(left, op, right)
+        raise ParseError(
+            f"expected comparison operator at line {self.cur.line}, "
+            f"found {self.cur.text!r}"
+        )
+
+    def aexpr(self) -> A.AExpr:
+        left = self.term()
+        while self.cur.kind == "sym" and self.cur.text in ("+", "-"):
+            op = self.eat("sym").text
+            right = self.term()
+            left = A.Add(left, right) if op == "+" else A.Sub(left, right)
+        return left
+
+    def term(self) -> A.AExpr:
+        if self.try_eat("sym", "-"):
+            return A.Neg(self.term())
+        if self.at("int"):
+            return A.Const(int(self.eat("int").text))
+        if self.at("kw", "max") or self.at("kw", "min"):
+            kw = self.eat("kw").text
+            self.eat("sym", "(")
+            args = [self.aexpr()]
+            while self.try_eat("sym", ","):
+                args.append(self.aexpr())
+            self.eat("sym", ")")
+            return A.Max(tuple(args)) if kw == "max" else A.Min(tuple(args))
+        if self.try_eat("sym", "("):
+            e = self.aexpr()
+            self.eat("sym", ")")
+            return e
+        name = self.eat("id").text
+        # Dotted: location steps then a field read.
+        if self.at("sym", "."):
+            loc: A.LExpr = A.LocVar(name)
+            segs: List[str] = []
+            while self.at("sym", ".") :
+                self.eat("sym", ".")
+                segs.append(self.eat_any_name())
+            for s in segs[:-1]:
+                if s not in ("l", "r"):
+                    raise ParseError(f"bad location path segment {s!r}")
+                loc = A.LocField(loc, s)
+            last = segs[-1]
+            # A trailing .l/.r is a location (legal only in nil comparisons;
+            # `_as_loc` reinterprets it there, and the validator rejects a
+            # genuine integer use of a location).
+            return A.FieldRead(loc, last)
+        return A.Var(name)
+
+
+def _as_loc(e: A.AExpr) -> Optional[A.LExpr]:
+    """Reinterpret an arithmetic parse as a location (for nil comparisons)."""
+    if isinstance(e, A.Var):
+        return A.LocVar(e.name)
+    if isinstance(e, A.FieldRead) and e.fieldname in ("l", "r"):
+        return A.LocField(e.loc, e.fieldname)
+    return None
+
+
+def _compare(a: A.AExpr, op: str, b: A.AExpr) -> A.BExpr:
+    """Normalize comparisons onto the paper's ``> 0`` / ``== 0`` atoms.
+
+    Comparisons against literal 0 avoid the redundant subtraction so the
+    printer/parser round-trip is a fixpoint."""
+    zero_a = isinstance(a, A.Const) and a.value == 0
+    zero_b = isinstance(b, A.Const) and b.value == 0
+    diff_ab = a if zero_b else A.Sub(a, b)
+    diff_ba = b if zero_a else A.Sub(b, a)
+    if op == ">":
+        return A.Gt(diff_ab)
+    if op == "<":
+        return A.Gt(diff_ba)
+    if op == ">=":
+        return A.Not(A.Gt(diff_ba))
+    if op == "<=":
+        return A.Not(A.Gt(diff_ab))
+    if op == "==":
+        return A.Eq0(diff_ab)
+    if op == "!=":
+        return A.Not(A.Eq0(diff_ab))
+    raise AssertionError(op)
+
+
+def _infer_return_arities(prog: A.Program) -> None:
+    """Set ``Func.n_returns`` from return statements (0 if none)."""
+
+    def returns_in(stmt: A.Stmt) -> List[int]:
+        if isinstance(stmt, A.AssignBlock):
+            return [
+                len(a.exprs) for a in stmt.assigns if isinstance(a, A.Return)
+            ]
+        if isinstance(stmt, A.If):
+            out = returns_in(stmt.then)
+            if stmt.els is not None:
+                out += returns_in(stmt.els)
+            return out
+        if isinstance(stmt, (A.Seq, A.Par)):
+            out = []
+            for s in stmt.stmts:
+                out += returns_in(s)
+            return out
+        return []
+
+    for f in prog.funcs.values():
+        arities = set(returns_in(f.body))
+        if len(arities) > 1:
+            raise ParseError(
+                f"function {f.name!r} returns inconsistent arities {arities}"
+            )
+        f.n_returns = arities.pop() if arities else 0
+
+
+def normalize_program(prog: A.Program) -> A.Program:
+    """Coalesce adjacent non-call assignments into single blocks (``Assgn+``)
+    and flatten nested sequences.  Mutates and returns ``prog``."""
+
+    def norm(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.Seq):
+            flat: List[A.Stmt] = []
+            for s in stmt.stmts:
+                s = norm(s)
+                if isinstance(s, A.Skip):
+                    continue
+                if isinstance(s, A.Seq):
+                    flat.extend(s.stmts)
+                else:
+                    flat.append(s)
+            merged: List[A.Stmt] = []
+            for s in flat:
+                if (
+                    merged
+                    and isinstance(s, A.AssignBlock)
+                    and isinstance(merged[-1], A.AssignBlock)
+                ):
+                    merged[-1] = A.AssignBlock(merged[-1].assigns + s.assigns)
+                else:
+                    merged.append(s)
+            if not merged:
+                return A.Skip()
+            if len(merged) == 1:
+                return merged[0]
+            return A.Seq(tuple(merged))
+        if isinstance(stmt, A.If):
+            return A.If(
+                stmt.cond, norm(stmt.then), norm(stmt.els) if stmt.els else None
+            )
+        if isinstance(stmt, A.Par):
+            return A.Par(tuple(norm(s) for s in stmt.stmts))
+        return stmt
+
+    for f in prog.funcs.values():
+        f.body = norm(f.body)
+    return prog
+
+
+def parse_program(src: str, name: str = "program", entry: str = "Main") -> A.Program:
+    """Parse and normalize a Retreet program from source text."""
+    prog = _Parser(tokenize(src)).program(name, entry)
+    return normalize_program(prog)
+
+
+def parse_expr(src: str) -> A.AExpr:
+    """Parse a standalone arithmetic expression (testing helper)."""
+    p = _Parser(tokenize(src))
+    e = p.aexpr()
+    p.eat("eof")
+    return e

@@ -1,0 +1,130 @@
+"""Pretty-printer: AST → parseable ``.retreet`` source, plus canonical keys.
+
+``program_source`` round-trips through :func:`repro.lang.parser.parse_program`
+(tested property-style).  ``block_key`` produces a canonical structural string
+for a code block, used by the bisimulation search to match ``AllNonCalls(P)``
+with ``AllNonCalls(P')`` (paper Def. 3 requires the two programs to be built
+from the same straight-line blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast as A
+
+__all__ = ["program_source", "stmt_source", "block_key", "expr_source"]
+
+_INDENT = "  "
+
+
+def expr_source(e: A.AExpr) -> str:
+    if isinstance(e, A.Const):
+        return str(e.value)
+    if isinstance(e, A.Var):
+        return e.name
+    if isinstance(e, A.FieldRead):
+        return f"{e.loc}.{e.fieldname}"
+    if isinstance(e, A.Add):
+        return f"({expr_source(e.left)} + {expr_source(e.right)})"
+    if isinstance(e, A.Sub):
+        return f"({expr_source(e.left)} - {expr_source(e.right)})"
+    if isinstance(e, A.Neg):
+        return f"(0 - {expr_source(e.expr)})"
+    if isinstance(e, A.Max):
+        return "max(" + ", ".join(expr_source(a) for a in e.args) + ")"
+    if isinstance(e, A.Min):
+        return "min(" + ", ".join(expr_source(a) for a in e.args) + ")"
+    raise TypeError(f"unknown AExpr {e!r}")
+
+
+def bexpr_source(b: A.BExpr) -> str:
+    if isinstance(b, A.BTrue):
+        return "true"
+    if isinstance(b, A.IsNil):
+        return f"{b.loc} == nil"
+    if isinstance(b, A.Gt):
+        return f"{expr_source(b.expr)} > 0"
+    if isinstance(b, A.Eq0):
+        return f"{expr_source(b.expr)} == 0"
+    if isinstance(b, A.Not):
+        return f"!({bexpr_source(b.expr)})"
+    if isinstance(b, A.BAnd):
+        return f"({bexpr_source(b.left)} && {bexpr_source(b.right)})"
+    if isinstance(b, A.BOr):
+        return f"({bexpr_source(b.left)} || {bexpr_source(b.right)})"
+    raise TypeError(f"unknown BExpr {b!r}")
+
+
+def _assign_source(a: A.Assign) -> str:
+    if isinstance(a, A.FieldAssign):
+        return f"{a.loc}.{a.fieldname} = {expr_source(a.expr)}"
+    if isinstance(a, A.VarAssign):
+        return f"{a.name} = {expr_source(a.expr)}"
+    if isinstance(a, A.Return):
+        return "return " + ", ".join(expr_source(e) for e in a.exprs)
+    raise TypeError(f"unknown Assign {a!r}")
+
+
+def stmt_source(stmt: A.Stmt, depth: int = 1) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, A.CallStmt):
+        lhs = ", ".join(stmt.targets) + " = " if stmt.targets else ""
+        args = ", ".join([str(stmt.loc)] + [expr_source(a) for a in stmt.args])
+        return [f"{pad}{lhs}{stmt.func}({args})"]
+    if isinstance(stmt, A.AssignBlock):
+        return [pad + _assign_source(a) for a in stmt.assigns]
+    if isinstance(stmt, A.If):
+        out = [f"{pad}if ({bexpr_source(stmt.cond)}) {{"]
+        out += stmt_source(stmt.then, depth + 1)
+        if stmt.els is not None:
+            out.append(f"{pad}}} else {{")
+            out += stmt_source(stmt.els, depth + 1)
+        out.append(f"{pad}}}")
+        return out
+    if isinstance(stmt, A.Seq):
+        out = []
+        for i, s in enumerate(stmt.stmts):
+            lines = stmt_source(s, depth)
+            if i < len(stmt.stmts) - 1 and lines:
+                lines[-1] += ";"
+            out += lines
+        return out
+    if isinstance(stmt, A.Par):
+        out = [f"{pad}{{"]
+        for i, s in enumerate(stmt.stmts):
+            out += stmt_source(s, depth + 1)
+            if i < len(stmt.stmts) - 1:
+                out.append(f"{pad}||")
+        out.append(f"{pad}}}")
+        return out
+    if isinstance(stmt, A.Skip):
+        return [f"{pad}skip"]
+    raise TypeError(f"unknown Stmt {stmt!r}")
+
+
+def program_source(prog: A.Program) -> str:
+    """Emit parseable source for the whole program."""
+    chunks: List[str] = []
+    for f in prog.funcs.values():
+        params = ", ".join([f.loc_param] + list(f.int_params))
+        lines = [f"{f.name}({params}) {{"]
+        lines += stmt_source(f.body, 1)
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def block_key(stmt: A.Stmt) -> str:
+    """Canonical structural key for a block (identity-free).
+
+    Two blocks with the same key run the same straight-line code; used for
+    matching non-call blocks across programs in the bisimulation check.
+    """
+    if isinstance(stmt, A.AssignBlock):
+        return "; ".join(_assign_source(a) for a in stmt.assigns)
+    if isinstance(stmt, A.CallStmt):
+        lhs = ", ".join(stmt.targets)
+        args = ", ".join([str(stmt.loc)] + [expr_source(a) for a in stmt.args])
+        return f"{lhs} = {stmt.func}({args})"
+    raise TypeError(f"not a block: {stmt!r}")

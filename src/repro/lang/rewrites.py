@@ -1,0 +1,320 @@
+"""Mechanical program rewrites: mutation simulation and helpers (paper §5).
+
+Retreet forbids tree mutation, but §5 shows a limited class of mutations can
+be *simulated* with mutable local flag fields: for each node,
+
+* ``ll`` = "n.l is unchanged",  ``lr`` = "n.l points to the original right
+  child",
+* ``rl``/``rr`` symmetrically for ``n.r``,
+
+initialized (implicitly) to ``ll=1, lr=0, rl=0, rr=1``; the swap statement
+``tmp = n.l; n.l = n.r; n.r = tmp`` becomes the four flag writes, and reads
+through possibly-swapped pointers become flag-guarded conditionals.
+
+This module mechanizes the conversion the paper performed by hand:
+
+* :func:`parse_with_mutation` parses extended Retreet in which ``n.l = …``
+  pointer assignments are allowed (as :class:`PtrAssign` pseudo-statements);
+* :func:`simulate_mutation` rewrites the child-swap idiom into flag writes;
+* :func:`flag_guard_reads` rewrites call sites and field reads through
+  ``n.l``/``n.r`` in *other* traversals into flag-guarded conditionals —
+  optionally simplified under the "swap already ran everywhere" facts the
+  paper's simple program analysis provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from . import ast as A
+from .parser import normalize_program, parse_program
+
+__all__ = [
+    "PtrAssign",
+    "parse_with_mutation",
+    "simulate_mutation",
+    "flag_guard_reads",
+    "FLAG_FIELDS",
+]
+
+FLAG_FIELDS = ("ll", "lr", "rl", "rr")
+
+# Flag meaning: (child slot, points-to-original) -> flag name.
+_FLAG = {("l", "l"): "ll", ("l", "r"): "lr", ("r", "l"): "rl", ("r", "r"): "rr"}
+
+
+@dataclass(eq=False)
+class PtrAssign(A.Assign):
+    """Extended-syntax pointer assignment ``n.<slot> = <rhs loc>`` — only
+    legal in pre-conversion ASTs; :func:`simulate_mutation` removes it."""
+
+    slot: str  # 'l' or 'r'
+    rhs: A.LExpr
+
+    def __str__(self) -> str:
+        return f"n.{self.slot} = {self.rhs}"
+
+
+def parse_with_mutation(src: str, name: str = "program", entry: str = "Main") -> A.Program:
+    """Parse extended Retreet where ``n.l = n.r``-style statements appear.
+
+    Implemented as a pre-pass replacing pointer assignments with marker
+    field assignments, then swapping the markers for :class:`PtrAssign`."""
+    import re
+
+    marked = re.sub(
+        r"\bn\s*\.\s*([lr])\s*=\s*(n(?:\s*\.\s*[lr]){0,3}|tmp)\b",
+        lambda m: f"n.@ptr_{m.group(1)} = @@{m.group(2).replace(' ', '').replace('.', '_')}",
+        src,
+    )
+    # The marker RHS tokens must lex as identifiers:
+    marked = marked.replace("@@", "PTRRHS_").replace("@ptr_", "PTRSLOT_")
+    prog = parse_program(marked, name=name, entry=entry)
+    _restore_ptr_assigns(prog)
+    return normalize_program(prog)
+
+
+def _restore_ptr_assigns(prog: A.Program) -> None:
+    def fix_block(stmt: A.AssignBlock) -> A.AssignBlock:
+        out: List[A.Assign] = []
+        for a in stmt.assigns:
+            if (
+                isinstance(a, A.FieldAssign)
+                and a.fieldname.startswith("PTRSLOT_")
+                and isinstance(a.expr, A.Var)
+                and a.expr.name.startswith("PTRRHS_")
+            ):
+                slot = a.fieldname[len("PTRSLOT_"):]
+                rhs_txt = a.expr.name[len("PTRRHS_"):]
+                loc: A.LExpr = A.LocVar("n")
+                for d in rhs_txt.split("_")[1:]:
+                    loc = A.LocField(loc, d)
+                if rhs_txt == "tmp":
+                    loc = A.LocVar("tmp")  # resolved by the swap idiom
+                out.append(PtrAssign(slot, loc))
+            else:
+                out.append(a)
+        return A.AssignBlock(tuple(out))
+
+    def walk(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.AssignBlock):
+            return fix_block(stmt)
+        if isinstance(stmt, A.If):
+            return A.If(stmt.cond, walk(stmt.then),
+                        walk(stmt.els) if stmt.els else None)
+        if isinstance(stmt, (A.Seq, A.Par)):
+            return type(stmt)(tuple(walk(s) for s in stmt.stmts))
+        return stmt
+
+    for f in prog.funcs.values():
+        f.body = walk(f.body)
+
+
+def simulate_mutation(prog: A.Program) -> A.Program:
+    """Replace pointer-mutation idioms with flag-field writes.
+
+    Recognized inside a single block:
+
+    * the full swap ``tmp = n.l; n.l = n.r; n.r = tmp`` → ``ll=0; lr=1;
+      rl=1; rr=0``;
+    * a single redirect ``n.l = n.r`` → ``ll=0; lr=1`` (and symmetrically).
+
+    Any remaining :class:`PtrAssign` raises ``ValueError`` (general topology
+    mutation is outside the simulable class, per the paper)."""
+
+    def convert_block(stmt: A.AssignBlock) -> A.AssignBlock:
+        assigns = list(stmt.assigns)
+        out: List[A.Assign] = []
+        i = 0
+        tmp_binding: Dict[str, str] = {}  # tmp var -> original slot
+        while i < len(assigns):
+            a = assigns[i]
+            if (
+                isinstance(a, A.VarAssign)
+                and isinstance(a.expr, A.FieldRead)
+                and a.expr.fieldname in ("l", "r")
+                and not a.expr.loc.directions()
+            ):
+                # ``tmp = n.l`` — remember; emitted only if unused by a swap.
+                tmp_binding[a.name] = a.expr.fieldname
+                i += 1
+                continue
+            if isinstance(a, PtrAssign):
+                if isinstance(a.rhs, A.LocVar) and a.rhs.name in tmp_binding:
+                    src_slot = tmp_binding[a.rhs.name]
+                elif isinstance(a.rhs, A.LocField) and not a.rhs.base.directions():  # type: ignore[union-attr]
+                    src_slot = a.rhs.direction
+                else:
+                    raise ValueError(f"unsimulable pointer assignment: {a}")
+                same = _FLAG[(a.slot, a.slot)]
+                cross = _FLAG[(a.slot, "l" if a.slot == "r" else "r")]
+                if src_slot == a.slot:
+                    values = {same: 1, cross: 0}
+                else:
+                    values = {same: 0, cross: 1}
+                for fname, v in values.items():
+                    out.append(
+                        A.FieldAssign(A.LocVar("n"), fname, A.Const(v))
+                    )
+                i += 1
+                continue
+            out.append(a)
+            i += 1
+        return A.AssignBlock(tuple(out))
+
+    def walk(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.AssignBlock):
+            return convert_block(stmt)
+        if isinstance(stmt, A.If):
+            return A.If(stmt.cond, walk(stmt.then),
+                        walk(stmt.els) if stmt.els else None)
+        if isinstance(stmt, (A.Seq, A.Par)):
+            return type(stmt)(tuple(walk(s) for s in stmt.stmts))
+        return stmt
+
+    for f in prog.funcs.values():
+        f.body = walk(f.body)
+
+    # Verify nothing unsimulable remains.
+    def scan(stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.AssignBlock):
+            for a in stmt.assigns:
+                if isinstance(a, PtrAssign):
+                    raise ValueError(f"unsimulable pointer assignment: {a}")
+        elif isinstance(stmt, A.If):
+            scan(stmt.then)
+            if stmt.els:
+                scan(stmt.els)
+        elif isinstance(stmt, (A.Seq, A.Par)):
+            for s in stmt.stmts:
+                scan(s)
+
+    for f in prog.funcs.values():
+        scan(f.body)
+    return normalize_program(prog)
+
+
+def flag_guard_reads(
+    prog: A.Program,
+    funcs: Optional[List[str]] = None,
+    assume_swapped: Optional[bool] = None,
+) -> A.Program:
+    """Rewrite reads through ``n.l``/``n.r`` into flag-aware form.
+
+    * calls ``g(n.l, …)`` become ``if (n.ll > 0) g(n.l, …) else g(n.r, …)``;
+    * field assignments whose RHS reads ``n.l.f`` become the corresponding
+      conditional statement (symmetrically for ``n.r``).
+
+    With ``assume_swapped=True`` the paper's post-analysis simplification is
+    applied instead: every ``n.l`` read is redirected to ``n.r`` (and vice
+    versa) without conditionals — valid when the swap traversal is known to
+    have run on every node.  ``assume_swapped=False`` leaves reads as-is.
+    """
+    targets = funcs if funcs is not None else list(prog.funcs)
+
+    def redirect_loc(loc: A.LExpr) -> A.LExpr:
+        if isinstance(loc, A.LocField) and not loc.base.directions():  # type: ignore[union-attr]
+            other = "r" if loc.direction == "l" else "l"
+            return A.LocField(loc.base, other)
+        return loc
+
+    def redirect_aexpr(e: A.AExpr) -> A.AExpr:
+        from .exprs import subst_aexpr
+
+        # Swap l<->r prefixes in field reads one level below n.
+        if isinstance(e, A.FieldRead):
+            return A.FieldRead(redirect_loc(e.loc), e.fieldname)
+        if isinstance(e, (A.Add, A.Sub)):
+            return type(e)(redirect_aexpr(e.left), redirect_aexpr(e.right))
+        if isinstance(e, A.Neg):
+            return A.Neg(redirect_aexpr(e.expr))
+        if isinstance(e, (A.Max, A.Min)):
+            return type(e)(tuple(redirect_aexpr(a) for a in e.args))
+        return e
+
+    def guard(stmt_l: A.Stmt, stmt_r: A.Stmt) -> A.Stmt:
+        return A.If(
+            A.Gt(A.FieldRead(A.LocVar("n"), "ll")), stmt_l, stmt_r
+        )
+
+    def walk(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.CallStmt):
+            dirs = stmt.loc.directions()
+            if len(dirs) == 1:
+                if assume_swapped is True:
+                    return A.CallStmt(
+                        stmt.targets, stmt.func, redirect_loc(stmt.loc),
+                        stmt.args,
+                    )
+                if assume_swapped is None:
+                    other = A.CallStmt(
+                        stmt.targets, stmt.func, redirect_loc(stmt.loc),
+                        stmt.args,
+                    )
+                    return guard(stmt, other)
+            return stmt
+        if isinstance(stmt, A.AssignBlock):
+            if assume_swapped is True:
+                return A.AssignBlock(
+                    tuple(
+                        A.FieldAssign(a.loc, a.fieldname, redirect_aexpr(a.expr))
+                        if isinstance(a, A.FieldAssign)
+                        else (
+                            A.VarAssign(a.name, redirect_aexpr(a.expr))
+                            if isinstance(a, A.VarAssign)
+                            else A.Return(tuple(redirect_aexpr(e) for e in a.exprs))
+                        )
+                        for a in stmt.assigns
+                    )
+                )
+            if assume_swapped is None:
+                reads_child = any(
+                    isinstance(a, (A.FieldAssign, A.VarAssign))
+                    and _reads_one_level(a.expr)
+                    for a in stmt.assigns
+                )
+                if reads_child:
+                    swapped = A.AssignBlock(
+                        tuple(
+                            A.FieldAssign(a.loc, a.fieldname, redirect_aexpr(a.expr))
+                            if isinstance(a, A.FieldAssign)
+                            else (
+                                A.VarAssign(a.name, redirect_aexpr(a.expr))
+                                if isinstance(a, A.VarAssign)
+                                else a
+                            )
+                            for a in stmt.assigns
+                        )
+                    )
+                    return guard(stmt, swapped)
+            return stmt
+        if isinstance(stmt, A.If):
+            cond = redirect_bexpr(stmt.cond) if assume_swapped is True else stmt.cond
+            return A.If(cond, walk(stmt.then),
+                        walk(stmt.els) if stmt.els else None)
+        if isinstance(stmt, (A.Seq, A.Par)):
+            return type(stmt)(tuple(walk(s) for s in stmt.stmts))
+        return stmt
+
+    def redirect_bexpr(b: A.BExpr) -> A.BExpr:
+        if isinstance(b, A.IsNil):
+            return A.IsNil(redirect_loc(b.loc))
+        if isinstance(b, A.Gt):
+            return A.Gt(redirect_aexpr(b.expr))
+        if isinstance(b, A.Eq0):
+            return A.Eq0(redirect_aexpr(b.expr))
+        if isinstance(b, A.Not):
+            return A.Not(redirect_bexpr(b.expr))
+        if isinstance(b, (A.BAnd, A.BOr)):
+            return type(b)(redirect_bexpr(b.left), redirect_bexpr(b.right))
+        return b
+
+    def _reads_one_level(e: A.AExpr) -> bool:
+        from .exprs import aexpr_field_reads
+
+        return any(len(d) == 1 for d, _ in aexpr_field_reads(e))
+
+    for fname in targets:
+        prog.funcs[fname].body = walk(prog.funcs[fname].body)
+    return normalize_program(prog)

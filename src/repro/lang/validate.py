@@ -1,0 +1,268 @@
+"""Static validation of the §2.1 Retreet restrictions.
+
+Checks, per the paper:
+
+* **No self-call on the same node** — the call graph, with edges labelled by
+  whether the call descends (``n.l``/``n.r``) or stays on ``n``, must contain
+  no cycle of all same-node edges.  This is the paper's termination
+  restriction: "any function g(n, v̄) should not contain recursive calls to
+  g(n, ...), directly or indirectly through inlining".
+* **Single node traversal** — one ``Loc`` parameter per function; calls only
+  on ``n``, ``n.l`` or ``n.r``.
+* **No tree mutation** — enforced by the parser (no ``n.l = …`` l-values);
+  re-checked here for programmatically built ASTs.
+* **Return/target arities** agree with callee signatures.
+* **Guarded dereference** — every ``le.dir`` use appears under a path
+  condition implying ``le != nil`` (best-effort syntactic check; violations
+  are reported as warnings because rewritten programs sometimes guard via
+  arithmetic flags, cf. the tree-mutation case study).
+
+``validate`` raises :class:`ValidationError` for hard violations and returns
+a list of warning strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from . import ast as A
+from .blocks import BlockTable
+
+__all__ = ["ValidationError", "validate"]
+
+
+class ValidationError(ValueError):
+    pass
+
+
+def _iter_stmts(stmt: A.Stmt) -> Iterator[A.Stmt]:
+    yield stmt
+    if isinstance(stmt, A.If):
+        yield from _iter_stmts(stmt.then)
+        if stmt.els is not None:
+            yield from _iter_stmts(stmt.els)
+    elif isinstance(stmt, (A.Seq, A.Par)):
+        for s in stmt.stmts:
+            yield from _iter_stmts(s)
+
+
+def _call_edges(prog: A.Program) -> List[Tuple[str, str, bool]]:
+    """(caller, callee, descends) for every call block."""
+    out = []
+    for f in prog.funcs.values():
+        for s in _iter_stmts(f.body):
+            if isinstance(s, A.CallStmt):
+                out.append((f.name, s.func, len(s.loc.directions()) > 0))
+    return out
+
+
+def _has_same_node_cycle(prog: A.Program) -> List[str]:
+    """Detect a cycle using only same-node (non-descending) call edges."""
+    graph: Dict[str, Set[str]] = {f: set() for f in prog.funcs}
+    for caller, callee, descends in _call_edges(prog):
+        if not descends and callee in graph:
+            graph[caller].add(callee)
+    # Iterative DFS cycle detection.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {f: WHITE for f in graph}
+    for start in graph:
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[str, Iterator[str]]] = [(start, iter(graph[start]))]
+        color[start] = GRAY
+        trail = [start]
+        while stack:
+            node, it = stack[-1]
+            adv = next(it, None)
+            if adv is None:
+                stack.pop()
+                trail.pop()
+                color[node] = BLACK
+                continue
+            if color[adv] == GRAY:
+                return trail[trail.index(adv):] + [adv]
+            if color[adv] == WHITE:
+                color[adv] = GRAY
+                trail.append(adv)
+                stack.append((adv, iter(graph[adv])))
+    return []
+
+
+def validate(prog: A.Program) -> List[str]:
+    """Validate; raises :class:`ValidationError`, returns warnings."""
+    warnings: List[str] = []
+
+    for f in prog.funcs.values():
+        # Single Loc parameter is structural (Func has one loc_param).
+        for s in _iter_stmts(f.body):
+            if isinstance(s, A.CallStmt):
+                if s.func not in prog.funcs:
+                    raise ValidationError(
+                        f"{f.name}: call to undefined function {s.func!r}"
+                    )
+                dirs = s.loc.directions()
+                if len(dirs) > 1:
+                    raise ValidationError(
+                        f"{f.name}: call {s} descends more than one level; "
+                        "Retreet calls must target n, n.l or n.r"
+                    )
+                if isinstance(_loc_base(s.loc), A.LocVar) and (
+                    _loc_base(s.loc).name != f.loc_param
+                ):
+                    raise ValidationError(
+                        f"{f.name}: call location {s.loc} does not start at "
+                        f"the Loc parameter {f.loc_param!r}"
+                    )
+                callee = prog.funcs[s.func]
+                if len(s.targets) not in (0, callee.n_returns):
+                    raise ValidationError(
+                        f"{f.name}: call {s} expects {callee.n_returns} "
+                        f"return values, binds {len(s.targets)}"
+                    )
+            elif isinstance(s, A.AssignBlock):
+                for a in s.assigns:
+                    if isinstance(a, A.Return) and len(a.exprs) != f.n_returns:
+                        raise ValidationError(
+                            f"{f.name}: inconsistent return arity in {s}"
+                        )
+
+    cycle = _has_same_node_cycle(prog)
+    if cycle:
+        raise ValidationError(
+            "same-node recursion cycle (violates the paper's termination "
+            f"restriction): {' -> '.join(cycle)}"
+        )
+
+    warnings += _check_guarded_derefs(prog)
+    warnings += _check_parallel_locals(prog)
+    return warnings
+
+
+def _loc_base(loc: A.LExpr) -> A.LocVar:
+    while isinstance(loc, A.LocField):
+        loc = loc.base
+    assert isinstance(loc, A.LocVar)
+    return loc
+
+
+def _locs_used_in_aexpr(e: A.AExpr) -> Set[str]:
+    from .exprs import iter_aexprs
+
+    return {
+        x.loc.directions()
+        for x in iter_aexprs(e)
+        if isinstance(x, A.FieldRead) and x.loc.directions()
+    }
+
+
+def _check_guarded_derefs(prog: A.Program) -> List[str]:
+    """Best-effort check that child dereferences sit under non-nil guards."""
+    warnings: List[str] = []
+    table = BlockTable(prog)
+    for b in table.blocks:
+        # ``required`` collects directions strings of nodes that must be
+        # non-nil for this block to execute safely.  Reading/writing a field
+        # at directions d requires every prefix of d (including d itself and
+        # the root "") to be non-nil; calling on n.l/n.r only requires the
+        # prefixes *strictly above* the callee node.
+        required: Set[str] = set()
+
+        def need_field(dirs: str) -> None:
+            for k in range(len(dirs) + 1):
+                required.add(dirs[:k])
+
+        def need_loc(dirs: str) -> None:
+            for k in range(len(dirs)):
+                required.add(dirs[:k])
+
+        if isinstance(b.stmt, A.CallStmt):
+            need_loc(b.stmt.loc.directions())
+            for a in b.stmt.args:
+                for d in _locs_used_in_aexpr(a):
+                    need_field(d)
+        else:
+            for a in b.stmt.assigns:
+                if isinstance(a, A.FieldAssign):
+                    need_field(a.loc.directions())
+                    exprs = [a.expr]
+                elif isinstance(a, A.VarAssign):
+                    exprs = [a.expr]
+                else:
+                    exprs = list(a.exprs)
+                for e in exprs:
+                    for d in _locs_used_in_aexpr(e):
+                        need_field(d)
+            # Reading fields of n itself also requires n non-nil.
+            from .exprs import aexpr_field_reads
+
+            for a in b.stmt.assigns:
+                if isinstance(a, A.Return):
+                    srcs = list(a.exprs)
+                else:
+                    srcs = [a.expr]
+                for e in srcs:
+                    if any(d == "" for d, _ in aexpr_field_reads(e)):
+                        required.add("")
+        if not required:
+            continue
+        guarded: Set[str] = set()
+        for cond, pol in table.path_conditions(b):
+            for loc_dirs, is_not_nil in _nil_facts(cond.cond, pol):
+                if is_not_nil:
+                    guarded.add(loc_dirs)
+        for d in sorted(required):
+            if d not in guarded:
+                warnings.append(
+                    f"{b.sid} ({b.func}): access through "
+                    f"n{''.join('.' + c for c in d)} not syntactically "
+                    "guarded by a non-nil test"
+                )
+                break
+    return warnings
+
+
+def _nil_facts(cond: A.BExpr, polarity: bool) -> List[Tuple[str, bool]]:
+    """Extract (directions, is_not_nil) facts implied by cond==polarity."""
+    if isinstance(cond, A.IsNil):
+        # cond true -> loc is nil; false -> loc non-nil.
+        return [(cond.loc.directions(), not polarity)]
+    if isinstance(cond, A.Not):
+        return _nil_facts(cond.expr, not polarity)
+    if isinstance(cond, A.BAnd) and polarity:
+        return _nil_facts(cond.left, True) + _nil_facts(cond.right, True)
+    if isinstance(cond, A.BOr) and not polarity:
+        return _nil_facts(cond.left, False) + _nil_facts(cond.right, False)
+    return []
+
+
+def _check_parallel_locals(prog: A.Program) -> List[str]:
+    """Warn when parallel siblings write the same Int variable (the paper's
+    speculative execution would be schedule-dependent)."""
+    from .exprs import aexpr_vars
+
+    warnings: List[str] = []
+
+    def writes_of(stmt: A.Stmt) -> Set[str]:
+        out: Set[str] = set()
+        for s in _iter_stmts(stmt):
+            if isinstance(s, A.CallStmt):
+                out |= set(s.targets)
+            elif isinstance(s, A.AssignBlock):
+                for a in s.assigns:
+                    if isinstance(a, A.VarAssign):
+                        out.add(a.name)
+        return out
+
+    for f in prog.funcs.values():
+        for s in _iter_stmts(f.body):
+            if isinstance(s, A.Par):
+                sets = [writes_of(br) for br in s.stmts]
+                for i in range(len(sets)):
+                    for j in range(i + 1, len(sets)):
+                        shared = sets[i] & sets[j]
+                        if shared:
+                            warnings.append(
+                                f"{f.name}: parallel branches both write "
+                                f"{sorted(shared)}"
+                            )
+    return warnings

@@ -1,0 +1,8 @@
+"""Monadic second-order logic over labelled binary trees."""
+
+from . import syntax
+from .compile import Compiler, freshen
+from .semantics import evaluate
+from .simplify import miniscope, nnf, simplify
+
+__all__ = ["syntax", "Compiler", "freshen", "evaluate", "miniscope", "nnf", "simplify"]

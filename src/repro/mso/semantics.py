@@ -1,0 +1,198 @@
+"""Direct model-checking semantics for MSO formulas on labelled trees.
+
+This evaluator defines the *meaning* the automata compiler must match; the
+two are differentially tested against each other.  It enumerates quantifier
+instantiations explicitly, so it is only usable on small trees — exactly its
+job as a reference implementation.
+
+Conventions shared with the compiler:
+
+* first-order variables denote nodes of the tree **including nil leaves**;
+* a child term ``x.d`` of a nil node denotes a (virtual) nil node: its
+  ``isNil`` is true, it is in no set, it is not the root, and it equals
+  another term only if that term is the same virtual node (same path);
+* ``reach`` is proper ancestry over represented nodes.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from ..trees.heap import Tree
+from . import syntax as S
+
+__all__ = ["evaluate", "Assignment"]
+
+# FO vars map to node paths; SO vars map to frozensets of node paths.
+Assignment = Dict[str, object]
+
+
+def _term_path(t: S.NodeTerm, env: Mapping[str, object]) -> str:
+    base = env[t.var]
+    assert isinstance(base, str), f"{t.var} is not first-order"
+    return base + t.dirs
+
+
+def _exists_in_tree(tree: Tree, path: str) -> bool:
+    return path in tree
+
+
+def evaluate(f: S.Formula, tree: Tree, env: Optional[Assignment] = None) -> bool:
+    env = env or {}
+    return _eval(f, tree, env)
+
+
+def _all_paths(tree: Tree) -> List[str]:
+    return tree.paths(include_nil=True)
+
+
+def _eval(f: S.Formula, tree: Tree, env: Assignment) -> bool:
+    if isinstance(f, S.TrueF):
+        return True
+    if isinstance(f, S.FalseF):
+        return False
+    if isinstance(f, S.In):
+        p = _term_path(f.term, env)
+        if not _exists_in_tree(tree, p):
+            return False  # virtual nil nodes belong to no set
+        s = env[f.setvar]
+        assert isinstance(s, frozenset)
+        return p in s
+    if isinstance(f, S.IsNilT):
+        p = _term_path(f.term, env)
+        if not _exists_in_tree(tree, p):
+            return True  # children of nil are nil
+        return tree.node_at(p).is_nil
+    if isinstance(f, S.RootT):
+        p = _term_path(f.term, env)
+        return p == ""
+    if isinstance(f, S.EqT):
+        return _term_path(f.a, env) == _term_path(f.b, env)
+    if isinstance(f, S.Reach):
+        pa, pb = env[f.a], env[f.b]
+        assert isinstance(pa, str) and isinstance(pb, str)
+        return len(pa) < len(pb) and pb.startswith(pa)
+    if isinstance(f, S.LeftOf):
+        pp, pc = env[f.parent], env[f.child]
+        assert isinstance(pp, str) and isinstance(pc, str)
+        if not _exists_in_tree(tree, pp) or tree.node_at(pp).is_nil:
+            return False
+        return pc == pp + "l"
+    if isinstance(f, S.RightOf):
+        pp, pc = env[f.parent], env[f.child]
+        assert isinstance(pp, str) and isinstance(pc, str)
+        if not _exists_in_tree(tree, pp) or tree.node_at(pp).is_nil:
+            return False
+        return pc == pp + "r"
+    if isinstance(f, S.Subset):
+        a, b = env[f.a], env[f.b]
+        assert isinstance(a, frozenset) and isinstance(b, frozenset)
+        return a <= b
+    if isinstance(f, S.Sing):
+        s = env[f.setvar]
+        assert isinstance(s, frozenset)
+        return len(s) == 1
+    if isinstance(f, S.Empty):
+        s = env[f.setvar]
+        assert isinstance(s, frozenset)
+        return not s
+    if isinstance(f, S.ChildIs):
+        px = env[f.xvar]
+        pz = env[f.zvar]
+        assert isinstance(px, str) and isinstance(pz, str)
+        # z must be an actual (represented) node equal to x.dirs.
+        return _exists_in_tree(tree, pz) and px + f.dirs == pz
+    if isinstance(f, S.ParentRelIn):
+        pu = env[f.uvar]
+        assert isinstance(pu, str)
+        if not pu or pu[-1] != f.d:
+            return False
+        parent = pu[:-1]
+        target = parent + f.dirs
+        if not _exists_in_tree(tree, target):
+            return False
+        s = env[f.setvar]
+        assert isinstance(s, frozenset)
+        return target in s
+    if isinstance(f, S.ParentRelNil):
+        pu = env[f.uvar]
+        assert isinstance(pu, str)
+        if not pu or pu[-1] != f.d:
+            return False
+        parent = pu[:-1]
+        target = parent + f.dirs
+        if not _exists_in_tree(tree, target):
+            return True
+        return tree.node_at(target).is_nil
+    if isinstance(f, S.AgreeUpTo):
+        pz = env[f.zvar]
+        assert isinstance(pz, str)
+        for k in range(len(pz) + 1):
+            v = pz[:k]
+            groups = (f.pairs,) if v == pz else (f.pairs, f.strict_pairs)
+            for group in groups:
+                for a, b in group:
+                    sa, sb = env[a], env[b]
+                    assert isinstance(sa, frozenset) and isinstance(sb, frozenset)
+                    if (v in sa) != (v in sb):
+                        return False
+        return True
+    if isinstance(f, S.Not):
+        return not _eval(f.body, tree, env)
+    if isinstance(f, S.And):
+        return all(_eval(p, tree, env) for p in f.parts)
+    if isinstance(f, S.Or):
+        return any(_eval(p, tree, env) for p in f.parts)
+    if isinstance(f, (S.Exists1, S.Forall1)):
+        domain = _all_paths(tree)
+        want_all = isinstance(f, S.Forall1)
+        for values in _product(domain, len(f.names)):
+            env2 = dict(env)
+            env2.update(zip(f.names, values))
+            r = _eval(f.body, tree, env2)
+            if r and not want_all:
+                return True
+            if not r and want_all:
+                return False
+        return want_all
+    if isinstance(f, (S.Exists2, S.Forall2)):
+        domain = _all_paths(tree)
+        want_all = isinstance(f, S.Forall2)
+        for values in _product_sets(domain, len(f.names)):
+            env2 = dict(env)
+            env2.update(zip(f.names, values))
+            r = _eval(f.body, tree, env2)
+            if r and not want_all:
+                return True
+            if not r and want_all:
+                return False
+        return want_all
+    raise TypeError(f"unknown formula {f!r}")
+
+
+def _product(domain: List[str], k: int):
+    if k == 0:
+        yield ()
+        return
+    for v in domain:
+        for rest in _product(domain, k - 1):
+            yield (v,) + rest
+
+
+def _powerset(domain: List[str]) -> Iterable[FrozenSet[str]]:
+    return (
+        frozenset(c)
+        for c in chain.from_iterable(
+            combinations(domain, r) for r in range(len(domain) + 1)
+        )
+    )
+
+
+def _product_sets(domain: List[str], k: int):
+    if k == 0:
+        yield ()
+        return
+    for v in _powerset(domain):
+        for rest in _product_sets(domain, k - 1):
+            yield (v,) + rest

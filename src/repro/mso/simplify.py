@@ -1,0 +1,192 @@
+"""Formula simplification and miniscoping.
+
+Rewrites applied before compilation:
+
+* flattening of nested ``And``/``Or``, constant folding, double-negation
+  and De-Morgan pushing (negation normal form on demand);
+* **miniscoping** — ``∀x (φ ∧ ψ)`` splits into ``∀x φ ∧ ∀x ψ`` and
+  quantifiers drop over subformulas not mentioning the variable; this is
+  the classical lever for automata-based procedures, since it turns one
+  complement of a large product into several complements of small automata.
+
+The Retreet encoder emits per-constraint quantifiers already (manual
+miniscoping); this module provides the same transformation for arbitrary
+user formulas, and the ablation benchmark measures its effect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from . import syntax as S
+
+__all__ = ["simplify", "miniscope", "nnf"]
+
+
+def simplify(f: S.Formula) -> S.Formula:
+    """Flatten, fold constants, drop trivial quantifiers, miniscope."""
+    return miniscope(_flatten(f))
+
+
+# ---------------------------------------------------------------------------
+# Flattening and constant folding
+# ---------------------------------------------------------------------------
+
+def _flatten(f: S.Formula) -> S.Formula:
+    if isinstance(f, S.Not):
+        body = _flatten(f.body)
+        if isinstance(body, S.Not):
+            return body.body
+        if isinstance(body, S.TrueF):
+            return S.FalseF()
+        if isinstance(body, S.FalseF):
+            return S.TrueF()
+        return S.Not(body)
+    if isinstance(f, S.And):
+        parts: List[S.Formula] = []
+        for p in f.parts:
+            p = _flatten(p)
+            if isinstance(p, S.TrueF):
+                continue
+            if isinstance(p, S.FalseF):
+                return S.FalseF()
+            if isinstance(p, S.And):
+                parts.extend(p.parts)
+            else:
+                parts.append(p)
+        parts = _dedupe(parts)
+        if not parts:
+            return S.TrueF()
+        return parts[0] if len(parts) == 1 else S.And(tuple(parts))
+    if isinstance(f, S.Or):
+        parts = []
+        for p in f.parts:
+            p = _flatten(p)
+            if isinstance(p, S.FalseF):
+                continue
+            if isinstance(p, S.TrueF):
+                return S.TrueF()
+            if isinstance(p, S.Or):
+                parts.extend(p.parts)
+            else:
+                parts.append(p)
+        parts = _dedupe(parts)
+        if not parts:
+            return S.FalseF()
+        return parts[0] if len(parts) == 1 else S.Or(tuple(parts))
+    if isinstance(f, (S.Exists1, S.Forall1, S.Exists2, S.Forall2)):
+        body = _flatten(f.body)
+        used = S.free_vars(body)
+        names = tuple(n for n in f.names if n in used)
+        if isinstance(body, (S.TrueF, S.FalseF)) or not names:
+            return body
+        return type(f)(names, body)
+    return f
+
+
+def _dedupe(parts: List[S.Formula]) -> List[S.Formula]:
+    seen = set()
+    out = []
+    for p in parts:
+        k = str(p)
+        if k not in seen:
+            seen.add(k)
+            out.append(p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+def nnf(f: S.Formula) -> S.Formula:
+    """Push negations to the atoms (quantifiers dualized)."""
+
+    def pos(g: S.Formula) -> S.Formula:
+        if isinstance(g, S.Not):
+            return neg(g.body)
+        if isinstance(g, S.And):
+            return S.And(tuple(pos(p) for p in g.parts))
+        if isinstance(g, S.Or):
+            return S.Or(tuple(pos(p) for p in g.parts))
+        if isinstance(g, (S.Exists1, S.Forall1, S.Exists2, S.Forall2)):
+            return type(g)(g.names, pos(g.body))
+        return g
+
+    def neg(g: S.Formula) -> S.Formula:
+        if isinstance(g, S.Not):
+            return pos(g.body)
+        if isinstance(g, S.TrueF):
+            return S.FalseF()
+        if isinstance(g, S.FalseF):
+            return S.TrueF()
+        if isinstance(g, S.And):
+            return S.Or(tuple(neg(p) for p in g.parts))
+        if isinstance(g, S.Or):
+            return S.And(tuple(neg(p) for p in g.parts))
+        if isinstance(g, S.Exists1):
+            return S.Forall1(g.names, neg(g.body))
+        if isinstance(g, S.Forall1):
+            return S.Exists1(g.names, neg(g.body))
+        if isinstance(g, S.Exists2):
+            return S.Forall2(g.names, neg(g.body))
+        if isinstance(g, S.Forall2):
+            return S.Exists2(g.names, neg(g.body))
+        return S.Not(g)
+
+    return pos(f)
+
+
+# ---------------------------------------------------------------------------
+# Miniscoping
+# ---------------------------------------------------------------------------
+
+def miniscope(f: S.Formula) -> S.Formula:
+    """Narrow quantifier scopes.
+
+    * ``∀x (φ ∧ ψ)``  →  ``∀x φ ∧ ∀x ψ``
+    * ``∃x (φ ∨ ψ)``  →  ``∃x φ ∨ ∃x ψ``
+    * ``Qx (φ ∘ ρ)`` with x ∉ free(ρ)  →  ``(Qx φ) ∘ ρ``
+    """
+    if isinstance(f, S.Not):
+        return S.Not(miniscope(f.body))
+    if isinstance(f, S.And):
+        return S.And(tuple(miniscope(p) for p in f.parts))
+    if isinstance(f, S.Or):
+        return S.Or(tuple(miniscope(p) for p in f.parts))
+    if isinstance(f, (S.Exists1, S.Forall1, S.Exists2, S.Forall2)):
+        body = miniscope(f.body)
+        universal = isinstance(f, (S.Forall1, S.Forall2))
+        distributes = S.And if universal else S.Or
+        if isinstance(body, distributes):
+            return distributes(
+                tuple(
+                    miniscope(type(f)(f.names, p)) for p in body.parts
+                )
+            )
+        if isinstance(body, (S.And, S.Or)):
+            inside: List[S.Formula] = []
+            outside: List[S.Formula] = []
+            for p in body.parts:
+                if S.free_vars(p) & set(f.names):
+                    inside.append(p)
+                else:
+                    outside.append(p)
+            if outside and inside:
+                inner = (
+                    inside[0] if len(inside) == 1 else type(body)(tuple(inside))
+                )
+                return _flatten(
+                    type(body)(
+                        tuple(outside) + (miniscope(type(f)(f.names, inner)),)
+                    )
+                )
+            if outside and not inside:
+                return body
+        # Per-variable narrowing: drop names unused in the body.
+        used = S.free_vars(body)
+        names = tuple(n for n in f.names if n in used)
+        if not names:
+            return body
+        return type(f)(names, body)
+    return f

@@ -1,0 +1,5 @@
+"""The MONA-replacement solver front end."""
+
+from .solver import MSOSolver, SolveResult
+
+__all__ = ["MSOSolver", "SolveResult"]

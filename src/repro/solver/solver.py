@@ -1,0 +1,209 @@
+"""MONA-replacement front end: decide MSO formulas, produce witnesses.
+
+``MSOSolver`` wraps the compiler pipeline: formula → tree automaton →
+emptiness.  Satisfiability treats free variables as implicitly
+existentially quantified (their tracks stay free, so a witness directly
+shows the labelling — this is how counterexample configurations are
+decoded).  A state budget turns blow-ups into a clean ``budget`` status for
+the caller's engine-fallback logic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..automata.determinize import StateBudgetExceeded
+from ..automata.emptiness import Witness, find_witness, is_empty
+from ..automata.tta import TrackRegistry, TreeAutomaton
+from ..mso import syntax as S
+from ..mso.compile import Compiler
+
+__all__ = ["MSOSolver", "SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    status: str  # "sat" | "unsat" | "budget"
+    witness: Optional[Witness] = None
+    elapsed: float = 0.0
+    automaton_states: int = 0
+    compile_stats: Optional[object] = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+    def __str__(self) -> str:
+        return (
+            f"[mso] {self.status} ({self.automaton_states} states, "
+            f"{self.elapsed:.3f}s)"
+        )
+
+
+class MSOSolver:
+    """Decide satisfiability/validity of MSO formulas over labelled trees."""
+
+    def __init__(
+        self,
+        registry: Optional[TrackRegistry] = None,
+        minimize_always: bool = True,
+        det_budget: int = 200_000,
+        product_budget: int = 3_000,
+    ) -> None:
+        self.compiler = Compiler(
+            registry=registry,
+            minimize_always=minimize_always,
+            det_budget=det_budget,
+        )
+        # Conjunction products beyond this state count raise
+        # StateBudgetExceeded so callers can fall back to the bounded
+        # engine instead of grinding (pure-Python products are O(n^2)).
+        self.product_budget = product_budget
+        # Optional wall-clock deadline (time.perf_counter() value); when
+        # exceeded mid-conjunction, StateBudgetExceeded is raised so the
+        # caller's fallback logic runs rather than a query overshooting.
+        self.deadline: Optional[float] = None
+        self._conj_cache: Dict[str, TreeAutomaton] = {}
+
+    @property
+    def registry(self) -> TrackRegistry:
+        return self.compiler.registry
+
+    def compile(self, formula: S.Formula) -> TreeAutomaton:
+        self.compiler.deadline = self.deadline
+        return self.compiler.compile(formula)
+
+    def satisfiable(self, formula: S.Formula, want_witness: bool = True) -> SolveResult:
+        """Is there a tree + labelling of the free variables satisfying the
+        formula?"""
+        t0 = time.perf_counter()
+        try:
+            a = self.compiler.compile(formula)
+        except StateBudgetExceeded:
+            return SolveResult(
+                status="budget",
+                elapsed=time.perf_counter() - t0,
+                compile_stats=self.compiler.stats,
+            )
+        if want_witness:
+            w = find_witness(a)
+            status = "sat" if w is not None else "unsat"
+        else:
+            w = None
+            status = "unsat" if is_empty(a) else "sat"
+        return SolveResult(
+            status=status,
+            witness=w,
+            elapsed=time.perf_counter() - t0,
+            automaton_states=a.n_states,
+            compile_stats=self.compiler.stats,
+        )
+
+    def automaton_conj(self, parts, cache_key: Optional[str] = None) -> TreeAutomaton:
+        """Product automaton of a conjunction of formulas, minimized along
+        the way.  With ``cache_key`` the result is cached for reuse across
+        queries (e.g. the q-independent ``Configuration`` core)."""
+        from ..automata.minimize import minimize, prune_unreachable, reduce_nfta
+
+        if cache_key is not None:
+            cached = self._conj_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        self.compiler.deadline = self.deadline
+        autos = [
+            p if isinstance(p, TreeAutomaton) else self.compiler.compile(p)
+            for p in parts
+        ]
+        autos.sort(key=lambda a: a.n_states)
+        acc = autos[0]
+        for nxt in autos[1:]:
+            if self.deadline is not None and time.perf_counter() > self.deadline:
+                raise StateBudgetExceeded("solver deadline exceeded")
+            acc = acc.product(
+                nxt,
+                lambda x, y: x and y,
+                max_states=self.product_budget,
+                deadline=self.deadline,
+            )
+            acc = prune_unreachable(acc)
+            if acc.deterministic and acc.n_states > 8:
+                acc = minimize(acc.completed(), deadline=self.deadline)
+            elif not acc.deterministic and acc.n_states > 32:
+                acc = reduce_nfta(acc, deadline=self.deadline)
+            if acc.n_states > self.product_budget:
+                raise StateBudgetExceeded(
+                    f"conjunction product exceeded {self.product_budget} "
+                    "states"
+                )
+            if not acc.accepting:
+                break
+        if cache_key is not None:
+            self._conj_cache[cache_key] = acc
+        return acc
+
+    def sat_of(self, automaton: TreeAutomaton, exist_fo=(), want_witness=True) -> SolveResult:
+        """Emptiness/witness of a pre-built automaton, after projecting the
+        given first-order variables (their Sing constraints must already be
+        part of the automaton)."""
+        from ..automata.minimize import prune_unreachable
+
+        t0 = time.perf_counter()
+        acc = automaton
+        if exist_fo and acc.accepting:
+            acc = prune_unreachable(acc.projected(exist_fo))
+        if want_witness:
+            w = find_witness(acc)
+            status = "sat" if w is not None else "unsat"
+        else:
+            w = None
+            status = "unsat" if is_empty(acc) else "sat"
+        return SolveResult(
+            status=status,
+            witness=w,
+            elapsed=time.perf_counter() - t0,
+            automaton_states=acc.n_states,
+            compile_stats=self.compiler.stats,
+        )
+
+    def satisfiable_conj(
+        self,
+        parts,
+        exist_fo=(),
+        want_witness: bool = True,
+    ) -> SolveResult:
+        """Satisfiability of a conjunction, compiled part-by-part.
+
+        Each part is compiled (and memoized) independently, so shared
+        constraints — e.g. the q-independent conjuncts of ``Configuration``
+        — are reused across queries.  ``exist_fo`` names first-order
+        variables occurring free in the parts to bind existentially at the
+        top (their singleton constraint is conjoined, then their tracks are
+        projected away)."""
+        from ..automata.minimize import minimize, prune_unreachable
+
+        t0 = time.perf_counter()
+        try:
+            all_parts = list(parts) + [S.Sing(v) for v in exist_fo]
+            acc = self.automaton_conj(all_parts)
+            res = self.sat_of(acc, exist_fo=exist_fo, want_witness=want_witness)
+        except StateBudgetExceeded:
+            return SolveResult(
+                status="budget",
+                elapsed=time.perf_counter() - t0,
+                compile_stats=self.compiler.stats,
+            )
+        res.elapsed = time.perf_counter() - t0
+        return res
+
+    def valid(self, formula: S.Formula) -> SolveResult:
+        """Is the formula true on every tree (free variables universal)?
+
+        Returns sat-status of the *negation*: ``unsat`` means valid; a
+        witness is a counterexample to validity."""
+        return self.satisfiable(S.Not(formula))

@@ -1,0 +1,18 @@
+"""Tree heap substrate: heaps, generators, LCRS, CSS engine, cycletrees."""
+
+from .heap import Tree, TreeNode, nil, node, tree_from_tuple, tree_to_tuple
+from .generators import (
+    all_shapes,
+    assign_fields,
+    full_tree,
+    left_chain,
+    random_tree,
+    right_chain,
+    zigzag,
+)
+
+__all__ = [
+    "Tree", "TreeNode", "nil", "node", "tree_from_tuple", "tree_to_tuple",
+    "all_shapes", "assign_fields", "full_tree", "left_chain",
+    "random_tree", "right_chain", "zigzag",
+]

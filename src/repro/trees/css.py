@@ -1,0 +1,323 @@
+"""A miniature CSS engine: tokenizer, parser, AST and minification passes.
+
+This is the concrete workload behind the paper's CSS case study (§5,
+Fig. 8).  The paper's traversals model passes from minifiers like cssnano;
+here we implement a small but *real* subset so the case study runs
+end-to-end:
+
+* a tokenizer and recursive-descent parser for ``selector { prop: value }``
+  style sheets (values may be keywords, dimensions like ``100ms``, numbers,
+  or simple functions like ``calc(...)``);
+* an n-ary AST (:class:`~repro.trees.lcrs.NaryNode`-based) with per-node
+  string data *and* the integer field encoding (``type``, ``prop``,
+  ``value``, ``vlen``) that the Retreet traversals of
+  :mod:`repro.casestudies.css` analyse;
+* the three minification passes of Fig. 8 — ``convert_values`` (``100ms`` →
+  ``.1s``), ``minify_font`` (``font-weight: normal`` → ``400``) and
+  ``reduce_init`` (``initial`` → the shorter concrete default) — both as
+  separate passes and as the fused single pass whose legality the framework
+  verifies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .lcrs import NaryNode, to_lcrs
+from .heap import Tree
+
+__all__ = [
+    "CssNode",
+    "parse_css",
+    "render_css",
+    "convert_values",
+    "minify_font",
+    "reduce_init",
+    "minify",
+    "minify_fused",
+    "encode_fields",
+    "css_to_binary_tree",
+    "PROPERTY_CODES",
+    "TYPE_CODES",
+]
+
+# Node kinds in the AST.
+STYLESHEET, RULE, SELECTOR, DECL, WORD, FUNC, NUMBER = (
+    "stylesheet", "rule", "selector", "decl", "word", "func", "number",
+)
+
+TYPE_CODES = {
+    STYLESHEET: 10, RULE: 11, SELECTOR: 12, DECL: 13,
+    WORD: 1, FUNC: 2, NUMBER: 3,
+}
+
+PROPERTY_CODES = {
+    "font-weight": 7,
+    "min-width": 8,
+    "max-width": 9,
+    "width": 10,
+    "transition-duration": 11,
+    "animation-duration": 12,
+    "letter-spacing": 13,
+}
+
+# Defaults used by reduce_init (property -> shorter concrete default).
+INITIAL_DEFAULTS = {
+    "min-width": "0",
+    "max-width": "none",
+    "width": "auto",
+    "letter-spacing": "normal",
+    "font-weight": "400",
+}
+
+FONT_WEIGHT_KEYWORDS = {"normal": "400", "bold": "700"}
+
+
+class CssNode(NaryNode):
+    """An n-ary CSS AST node with string payload."""
+
+    def __init__(self, kind: str, text: str = "", prop: str = "") -> None:
+        super().__init__()
+        self.kind = kind
+        self.text = text
+        self.prop = prop  # the owning declaration's property, for values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.text!r}>"
+
+
+class CssParseError(SyntaxError):
+    pass
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<ident>[-@][\w-]+|[a-zA-Z_][\w-]*)|(?P<num>\.?\d[\w.%]*)"
+    r"|(?P<punct>[{}():;,.#*>\[\]=\"'])|(?P<other>\S))"
+)
+
+
+def _tokens(src: str) -> List[str]:
+    out = []
+    i = 0
+    while i < len(src):
+        m = _TOKEN.match(src, i)
+        if not m:
+            break
+        out.append(m.group(m.lastgroup))
+        i = m.end()
+    return out
+
+
+def parse_css(src: str) -> CssNode:
+    """Parse a style sheet into an n-ary AST."""
+    toks = _tokens(src)
+    i = 0
+    sheet = CssNode(STYLESHEET)
+
+    def peek() -> Optional[str]:
+        return toks[i] if i < len(toks) else None
+
+    def take() -> str:
+        nonlocal i
+        t = toks[i]
+        i += 1
+        return t
+
+    while i < len(toks):
+        # selector: everything until '{'
+        sel_parts = []
+        while peek() is not None and peek() != "{":
+            sel_parts.append(take())
+        if peek() is None:
+            break
+        take()  # '{'
+        rule = CssNode(RULE)
+        rule.add(CssNode(SELECTOR, " ".join(sel_parts)))
+        sheet.add(rule)
+        # declarations until '}'
+        while peek() is not None and peek() != "}":
+            prop_parts = []
+            while peek() not in (":", None):
+                prop_parts.append(take())
+            if peek() is None:
+                raise CssParseError("missing ':' in declaration")
+            take()  # ':'
+            prop = "-".join(
+                p for p in "".join(prop_parts).split("-") if p
+            ) if "-" in "".join(prop_parts) else "".join(prop_parts)
+            prop = prop.strip()
+            decl = CssNode(DECL, prop, prop=prop)
+            rule.add(decl)
+            # values until ';' or '}'
+            while peek() not in (";", "}", None):
+                tok = take()
+                if peek() == "(":
+                    take()
+                    fn = CssNode(FUNC, tok, prop=prop)
+                    depth = 1
+                    inner = []
+                    while depth and peek() is not None:
+                        t2 = take()
+                        if t2 == "(":
+                            depth += 1
+                        elif t2 == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        inner.append(t2)
+                    for part in inner:
+                        if part not in (",",):
+                            kind = NUMBER if part[0].isdigit() or part[0] == "." else WORD
+                            fn.add(CssNode(kind, part, prop=prop))
+                    decl.add(fn)
+                else:
+                    kind = (
+                        NUMBER
+                        if tok and (tok[0].isdigit() or (tok[0] == "." and len(tok) > 1))
+                        else WORD
+                    )
+                    decl.add(CssNode(kind, tok, prop=prop))
+            if peek() == ";":
+                take()
+        if peek() == "}":
+            take()
+    return sheet
+
+
+def render_css(sheet: CssNode) -> str:
+    """Serialize the AST back to (minified) CSS text."""
+    rules = []
+    for rule in sheet.children:
+        sel = ""
+        decls = []
+        for child in rule.children:
+            if child.kind == SELECTOR:
+                sel = child.text
+            elif child.kind == DECL:
+                vals = " ".join(_render_value(v) for v in child.children)
+                decls.append(f"{child.text}:{vals}")
+        rules.append(f"{sel}{{{';'.join(decls)}}}")
+    return "".join(rules)
+
+
+def _render_value(v: CssNode) -> str:
+    if v.kind == FUNC:
+        inner = ",".join(_render_value(c) for c in v.children)
+        return f"{v.text}({inner})"
+    return v.text
+
+
+# ---------------------------------------------------------------------------
+# The three minification passes (Fig. 8) and their fusion.
+# ---------------------------------------------------------------------------
+
+_DIM = re.compile(r"^(\.?\d+(?:\.\d+)?)(ms|s|px)$")
+
+
+def _convert_one(n: CssNode) -> None:
+    """ConvertValues on one node: shorter unit/zero representations."""
+    if n.kind not in (WORD, FUNC, NUMBER):
+        return
+    m = _DIM.match(n.text)
+    if not m:
+        return
+    num, unit = m.groups()
+    value = float(num)
+    if unit == "ms" and value >= 100 and (value / 1000) * 1000 == value:
+        s = f"{value / 1000:g}s"
+        s = s.lstrip("0") if s.startswith("0.") else s
+        if len(s) < len(n.text):
+            n.text = s
+    elif value == 0:
+        n.text = "0"
+    elif n.text.startswith("0."):
+        n.text = n.text[1:]
+
+
+def _minify_font_one(n: CssNode) -> None:
+    """MinifyFont on one node: numeric font weights."""
+    if n.kind == WORD and n.prop == "font-weight":
+        repl = FONT_WEIGHT_KEYWORDS.get(n.text)
+        if repl is not None:
+            n.text = repl
+
+
+def _reduce_init_one(n: CssNode) -> None:
+    """ReduceInit on one node: replace long ``initial`` keywords."""
+    if n.kind == WORD and n.text == "initial":
+        default = INITIAL_DEFAULTS.get(n.prop)
+        if default is not None and len(default) < len("initial"):
+            n.text = default
+
+
+def _traverse(n: CssNode, fns) -> None:
+    """Post-order traversal applying the given per-node actions."""
+    for c in n.children:
+        _traverse(c, fns)
+    for f in fns:
+        f(n)
+
+
+def convert_values(sheet: CssNode) -> CssNode:
+    _traverse(sheet, [_convert_one])
+    return sheet
+
+
+def minify_font(sheet: CssNode) -> CssNode:
+    _traverse(sheet, [_minify_font_one])
+    return sheet
+
+
+def reduce_init(sheet: CssNode) -> CssNode:
+    _traverse(sheet, [_reduce_init_one])
+    return sheet
+
+
+def minify(src: str) -> str:
+    """The original pipeline: three separate traversals."""
+    sheet = parse_css(src)
+    convert_values(sheet)
+    minify_font(sheet)
+    reduce_init(sheet)
+    return render_css(sheet)
+
+
+def minify_fused(src: str) -> str:
+    """The fused pipeline: one traversal doing all three minifications —
+    the transformation whose legality the Retreet framework verifies."""
+    sheet = parse_css(src)
+    _traverse(sheet, [_convert_one, _minify_font_one, _reduce_init_one])
+    return render_css(sheet)
+
+
+# ---------------------------------------------------------------------------
+# Integer field encoding (the bridge to the Retreet model)
+# ---------------------------------------------------------------------------
+
+def encode_fields(sheet: CssNode) -> CssNode:
+    """Populate the integer fields (``type``, ``prop``, ``value``, ``vlen``)
+    that the Retreet traversals of the case study read and write."""
+    for n in sheet.walk():
+        assert isinstance(n, CssNode)
+        n.set("type", TYPE_CODES.get(n.kind, 0))
+        n.set("prop", PROPERTY_CODES.get(n.prop, 0))
+        n.set("value", _value_code(n.text))
+        n.set("vlen", len(n.text))
+    return sheet
+
+
+def _value_code(text: str) -> int:
+    """A stable small integer code for a node's text."""
+    h = 0
+    for ch in text:
+        h = (h * 31 + ord(ch)) % 100_003
+    return h
+
+
+def css_to_binary_tree(src: str) -> Tree:
+    """Parse, encode and LCRS-convert a style sheet for the Retreet model."""
+    sheet = parse_css(src)
+    encode_fields(sheet)
+    return to_lcrs(sheet)

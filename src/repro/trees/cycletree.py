@@ -1,0 +1,209 @@
+"""Natural cycletrees: construction, cyclic numbering, and routing.
+
+Cycletrees (Veanes & Barklund, 1996) are binary trees augmented with edges
+forming a Hamiltonian cycle over all nodes; broadcast uses the tree edges,
+point-to-point traffic uses the cycle.  This module is the concrete
+substrate behind the paper's hardest case study (§5): it implements
+
+* the *cyclic order* over a binary tree via the four mutually recursive
+  numbering modes (root/pre/in/post — the mode pattern of the paper's
+  Fig. 9, with the counter threaded functionally so the numbering is a true
+  permutation);
+* per-node *routing intervals* (min/max cycle number of each subtree, the
+  ``lmin/lmax/rmin/rmax`` fields of ``ComputeRouting``); and
+* a :class:`CycletreeRouter` that routes messages hop-by-hop using only the
+  local intervals, plus cycle-edge extraction and verification helpers.
+
+The Retreet-level traversals analysed by the framework live in
+:mod:`repro.casestudies.cycletree`; tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .heap import Tree, TreeNode
+
+__all__ = [
+    "number_cyclic",
+    "compute_routing",
+    "cycle_order",
+    "cycle_edges",
+    "CycletreeRouter",
+    "is_hamiltonian_cycle",
+]
+
+ROOT, PRE, IN, POST = "root", "pre", "in", "post"
+
+# Child modes per parent mode: (left child mode, right child mode) and
+# whether the node numbers itself before, between, or after its children.
+_SCHEME: Dict[str, Tuple[str, str, str]] = {
+    # mode: (self position, left mode, right mode)
+    ROOT: ("first", PRE, POST),
+    PRE: ("first", PRE, IN),
+    IN: ("mid", POST, PRE),
+    POST: ("last", IN, POST),
+}
+
+
+def number_cyclic(tree: Tree) -> Tree:
+    """Assign ``num`` fields in cyclic order (mode scheme of Fig. 9).
+
+    The counter is threaded through the recursion, so ``num`` is a
+    permutation of 0..size-1 in which consecutive numbers are adjacent in
+    the cycletree (tree edges plus the implicit cycle edges)."""
+
+    def go(node: TreeNode, mode: str, counter: int) -> int:
+        if node.is_nil:
+            return counter
+        pos, lmode, rmode = _SCHEME[mode]
+        if pos == "first":
+            node.set("num", counter)
+            counter += 1
+            counter = go(node.left, lmode, counter)  # type: ignore[arg-type]
+            counter = go(node.right, rmode, counter)  # type: ignore[arg-type]
+        elif pos == "mid":
+            counter = go(node.left, lmode, counter)  # type: ignore[arg-type]
+            node.set("num", counter)
+            counter += 1
+            counter = go(node.right, rmode, counter)  # type: ignore[arg-type]
+        else:  # last
+            counter = go(node.left, lmode, counter)  # type: ignore[arg-type]
+            counter = go(node.right, rmode, counter)  # type: ignore[arg-type]
+            node.set("num", counter)
+            counter += 1
+        return counter
+
+    total = go(tree.root, ROOT, 0)
+    assert total == tree.size
+    return tree
+
+
+def compute_routing(tree: Tree) -> Tree:
+    """Post-order computation of the routing intervals (Fig. 9's
+    ``ComputeRouting``): per node, the min/max cycle number of each child
+    subtree and of the node's own subtree."""
+
+    def go(node: TreeNode) -> Tuple[int, int]:
+        # returns (min, max) over the subtree; nil -> sentinel via caller.
+        assert not node.is_nil
+        num = node.get("num")
+        if node.left is not None and not node.left.is_nil:
+            lmin, lmax = go(node.left)
+        else:
+            lmin = lmax = num
+        if node.right is not None and not node.right.is_nil:
+            rmin, rmax = go(node.right)
+        else:
+            rmin = rmax = num
+        node.set("lmin", lmin)
+        node.set("lmax", lmax)
+        node.set("rmin", rmin)
+        node.set("rmax", rmax)
+        node.set("min", min(lmin, rmin, num))
+        node.set("max", max(lmax, rmax, num))
+        return node.get("min"), node.get("max")
+
+    if not tree.root.is_nil:
+        go(tree.root)
+    return tree
+
+
+def cycle_order(tree: Tree) -> List[TreeNode]:
+    """Nodes sorted by cyclic number."""
+    return sorted(tree.nodes(), key=lambda n: n.get("num"))
+
+
+def cycle_edges(tree: Tree) -> List[Tuple[str, str]]:
+    """The Hamiltonian cycle as (path, path) edges, closing back to 0."""
+    order = cycle_order(tree)
+    if not order:
+        return []
+    return [
+        (order[i].path, order[(i + 1) % len(order)].path)
+        for i in range(len(order))
+    ]
+
+
+def _tree_adjacent(a: str, b: str) -> bool:
+    return (len(a) + 1 == len(b) and b.startswith(a)) or (
+        len(b) + 1 == len(a) and a.startswith(b)
+    )
+
+
+def is_hamiltonian_cycle(tree: Tree, max_extra_edges: Optional[int] = None) -> bool:
+    """Check the cyclic numbering induces a cycle whose non-tree edges are
+    few — cycletrees complement the tree with a bounded set of extra edges
+    (Veanes & Barklund bound the total edge count)."""
+    edges = cycle_edges(tree)
+    if not edges:
+        return True
+    extra = [e for e in edges if not _tree_adjacent(*e)]
+    if max_extra_edges is None:
+        # Natural cycletrees use at most ~n/2 non-tree edges.
+        max_extra_edges = max(1, tree.size // 2 + 1)
+    return len(extra) <= max_extra_edges
+
+
+@dataclass
+class RouteStep:
+    node: str
+    direction: str  # "left" | "right" | "up" | "arrived"
+
+
+class CycletreeRouter:
+    """Hop-by-hop routing using only per-node intervals.
+
+    A message at node ``u`` headed for cycle number ``target`` moves to the
+    left child when ``lmin <= target <= lmax``, to the right child when
+    ``rmin <= target <= rmax``, and otherwise up to the parent — the
+    routing algorithm the paper's ``ComputeRouting`` fields exist for."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self._by_num: Dict[int, str] = {
+            n.get("num"): n.path for n in tree.nodes()
+        }
+
+    def node_of(self, num: int) -> str:
+        return self._by_num[num]
+
+    def route(self, src_num: int, dst_num: int, max_hops: int = 10_000) -> List[RouteStep]:
+        """The path a message takes from src to dst; raises on livelock."""
+        cur = self.tree.node_at(self._by_num[src_num])
+        steps: List[RouteStep] = []
+        for _ in range(max_hops):
+            if cur.get("num") == dst_num:
+                steps.append(RouteStep(cur.path, "arrived"))
+                return steps
+            if (
+                not cur.left.is_nil  # type: ignore[union-attr]
+                and cur.get("lmin") <= dst_num <= cur.get("lmax")
+                and not (cur.get("num") == dst_num)
+                and _strictly_inside(cur, "l", dst_num)
+            ):
+                steps.append(RouteStep(cur.path, "left"))
+                cur = cur.left  # type: ignore[assignment]
+            elif (
+                not cur.right.is_nil  # type: ignore[union-attr]
+                and cur.get("rmin") <= dst_num <= cur.get("rmax")
+                and _strictly_inside(cur, "r", dst_num)
+            ):
+                steps.append(RouteStep(cur.path, "right"))
+                cur = cur.right  # type: ignore[assignment]
+            else:
+                if not cur.path:
+                    raise RuntimeError(
+                        f"routing stuck at root heading for {dst_num}"
+                    )
+                steps.append(RouteStep(cur.path, "up"))
+                cur = self.tree.node_at(cur.path[:-1])
+        raise RuntimeError("routing exceeded max_hops")
+
+
+def _strictly_inside(cur: TreeNode, d: str, dst: int) -> bool:
+    child = cur.child(d)
+    if child.is_nil:
+        return False
+    return child.get("min") <= dst <= child.get("max")

@@ -1,0 +1,133 @@
+"""Deterministic tree generators for tests, fuzzing and benchmarks.
+
+All randomness is seeded (``random.Random``) so every test and benchmark run
+is reproducible.  ``all_shapes`` enumerates every binary-tree shape with a
+given number of internal nodes (Catalan enumeration) — the bounded checker
+uses it to be exhaustive on small scopes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from .heap import Tree, TreeNode, nil, node
+
+__all__ = [
+    "full_tree",
+    "left_chain",
+    "right_chain",
+    "zigzag",
+    "random_tree",
+    "all_shapes",
+    "assign_fields",
+]
+
+
+def full_tree(height: int, **fields: int) -> Tree:
+    """Perfect binary tree of the given height (0 -> a single nil root)."""
+
+    def go(h: int) -> TreeNode:
+        if h <= 0:
+            return nil()
+        return node(go(h - 1), go(h - 1), **fields)
+
+    return Tree(go(height))
+
+
+def left_chain(length: int, **fields: int) -> Tree:
+    """A chain descending through left children."""
+    cur = nil()
+    for _ in range(length):
+        cur = node(cur, nil(), **fields)
+    return Tree(cur)
+
+
+def right_chain(length: int, **fields: int) -> Tree:
+    """A chain descending through right children."""
+    cur = nil()
+    for _ in range(length):
+        cur = node(nil(), cur, **fields)
+    return Tree(cur)
+
+
+def zigzag(length: int, **fields: int) -> Tree:
+    """A chain alternating left/right descent."""
+    cur = nil()
+    go_left = True
+    for _ in range(length):
+        cur = node(cur, nil(), **fields) if go_left else node(nil(), cur, **fields)
+        go_left = not go_left
+    return Tree(cur)
+
+
+def random_tree(
+    n_internal: int,
+    seed: int = 0,
+    field_names: Sequence[str] = (),
+    value_range: tuple[int, int] = (-8, 8),
+) -> Tree:
+    """Uniform-ish random shape with ``n_internal`` internal nodes.
+
+    Uses the remy-style split: recursively divide the node budget between the
+    two subtrees with a seeded RNG.  Fields listed in ``field_names`` get
+    random values in ``value_range``.
+    """
+    rng = random.Random(seed)
+
+    def go(budget: int) -> TreeNode:
+        if budget <= 0:
+            return nil()
+        left_budget = rng.randint(0, budget - 1)
+        fields = {f: rng.randint(*value_range) for f in field_names}
+        return node(go(left_budget), go(budget - 1 - left_budget), **fields)
+
+    return Tree(go(n_internal))
+
+
+def all_shapes(n_internal: int) -> Iterator[Tree]:
+    """Every binary-tree shape with exactly ``n_internal`` internal nodes.
+
+    Yields Catalan(n) trees; Catalan(0)=1 is the single nil root.
+    """
+
+    def shapes(n: int) -> List[TreeNode]:
+        if n == 0:
+            return [nil()]
+        out: List[TreeNode] = []
+        for k in range(n):
+            for l in shapes(k):
+                for r in shapes(n - 1 - k):
+                    out.append(node(_clone(l), _clone(r)))
+        return out
+
+    for root in shapes(n_internal):
+        yield Tree(root)
+
+
+def _clone(n: TreeNode) -> TreeNode:
+    if n.is_nil:
+        return nil()
+    return node(_clone(n.left), _clone(n.right), **dict(n.fields))  # type: ignore[arg-type]
+
+
+def assign_fields(
+    tree: Tree,
+    field_names: Sequence[str],
+    seed: int = 0,
+    value_range: tuple[int, int] = (-8, 8),
+    fn: Optional[Callable[[str], Dict[str, int]]] = None,
+) -> Tree:
+    """Assign values to fields on every internal node, in place.
+
+    ``fn`` maps the node path to a field dict; if omitted a seeded RNG is
+    used.  Returns the tree for chaining.
+    """
+    rng = random.Random(seed)
+    for n in tree.nodes():
+        values = fn(n.path) if fn is not None else {
+            f: rng.randint(*value_range) for f in field_names
+        }
+        for k, v in values.items():
+            n.set(k, v)
+    return tree

@@ -1,0 +1,267 @@
+"""Binary tree heaps with explicit nil leaves.
+
+Retreet programs (and the MSO tree models that abstract them) operate on
+finite binary trees in which *every* internal node has exactly two children
+and the frontier consists of explicit ``nil`` nodes.  This mirrors the paper's
+WS2S constraint ``isNil(v) -> isNil(left(v)) && isNil(right(v))`` while
+keeping every model finite and printable.
+
+A :class:`TreeNode` is either *internal* (carries integer fields and two
+children) or *nil* (no fields, no children).  :class:`Tree` wraps a root node
+and provides addressing, traversal, cloning and comparison utilities used by
+the interpreter, the bounded checker and the MSO witness decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TreeNode", "Tree", "nil", "node", "tree_from_tuple", "tree_to_tuple"]
+
+
+class TreeNode:
+    """A node of a binary tree heap.
+
+    Internal nodes own a mutable mapping of integer-valued local fields and
+    two children (which may be nil nodes).  Nil nodes are terminal: reading a
+    field of nil or taking its children is a :class:`NilAccessError`.
+    """
+
+    __slots__ = ("left", "right", "fields", "_nil", "path")
+
+    def __init__(
+        self,
+        left: Optional["TreeNode"] = None,
+        right: Optional["TreeNode"] = None,
+        fields: Optional[Dict[str, int]] = None,
+        *,
+        is_nil: bool = False,
+    ) -> None:
+        self._nil = is_nil
+        if is_nil:
+            if left is not None or right is not None or fields:
+                raise ValueError("nil nodes carry no children or fields")
+            self.left = None
+            self.right = None
+            self.fields: Dict[str, int] = {}
+        else:
+            self.left = left if left is not None else TreeNode(is_nil=True)
+            self.right = right if right is not None else TreeNode(is_nil=True)
+            self.fields = dict(fields or {})
+        # ``path`` is assigned lazily by Tree._index(); "" is the root,
+        # "lr" is root.left.right, etc.
+        self.path: str = ""
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def is_nil(self) -> bool:
+        return self._nil
+
+    def child(self, direction: str) -> "TreeNode":
+        """Return the child in ``direction`` ('l' or 'r')."""
+        if self._nil:
+            raise NilAccessError(f"child({direction!r}) of nil node {self.path!r}")
+        if direction == "l":
+            return self.left  # type: ignore[return-value]
+        if direction == "r":
+            return self.right  # type: ignore[return-value]
+        raise ValueError(f"bad direction {direction!r}")
+
+    # -- fields ------------------------------------------------------------
+    def get(self, name: str) -> int:
+        if self._nil:
+            raise NilAccessError(f"read of field {name!r} on nil node {self.path!r}")
+        return self.fields.get(name, 0)
+
+    def set(self, name: str, value: int) -> None:
+        if self._nil:
+            raise NilAccessError(f"write of field {name!r} on nil node {self.path!r}")
+        self.fields[name] = int(value)
+
+    # -- misc ---------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._nil:
+            return f"<nil {self.path!r}>"
+        return f"<node {self.path!r} {self.fields}>"
+
+
+class NilAccessError(RuntimeError):
+    """Raised when a program dereferences a nil node.
+
+    Retreet assumes null-dereference freedom; the interpreter raises this to
+    surface violations during testing rather than silently misbehaving.
+    """
+
+
+def nil() -> TreeNode:
+    """Construct a fresh nil leaf."""
+    return TreeNode(is_nil=True)
+
+
+def node(
+    left: Optional[TreeNode] = None,
+    right: Optional[TreeNode] = None,
+    **fields: int,
+) -> TreeNode:
+    """Construct an internal node; missing children default to nil."""
+    return TreeNode(left, right, fields)
+
+
+@dataclass
+class Tree:
+    """A rooted binary tree heap with path indexing.
+
+    Paths are strings over ``{'l','r'}``; the empty string addresses the
+    root.  Indexing covers nil leaves too, so MSO witnesses (which label nil
+    positions — e.g. the paper labels ``C_c0``/``C_c1`` on nil nodes in
+    Fig. 4b) can be decoded onto concrete nodes.
+    """
+
+    root: TreeNode
+    _by_path: Dict[str, TreeNode] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reindex()
+
+    # -- indexing ------------------------------------------------------------
+    def reindex(self) -> None:
+        """(Re)compute the path index after structural edits."""
+        self._by_path = {}
+        stack: List[Tuple[TreeNode, str]] = [(self.root, "")]
+        while stack:
+            n, p = stack.pop()
+            n.path = p
+            self._by_path[p] = n
+            if not n.is_nil:
+                stack.append((n.left, p + "l"))  # type: ignore[arg-type]
+                stack.append((n.right, p + "r"))  # type: ignore[arg-type]
+
+    def node_at(self, path: str) -> TreeNode:
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise KeyError(f"no node at path {path!r}") from None
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._by_path
+
+    # -- traversal -----------------------------------------------------------
+    def nodes(self, include_nil: bool = False) -> Iterator[TreeNode]:
+        """Yield nodes in preorder (root, left subtree, right subtree)."""
+        stack = [self.root]
+        while stack:
+            n = stack.pop()
+            if n.is_nil:
+                if include_nil:
+                    yield n
+                continue
+            yield n
+            stack.append(n.right)  # type: ignore[arg-type]
+            stack.append(n.left)  # type: ignore[arg-type]
+
+    def paths(self, include_nil: bool = False) -> List[str]:
+        return sorted(
+            (n.path for n in self.nodes(include_nil)), key=lambda p: (len(p), p)
+        )
+
+    # -- measurements ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of internal (non-nil) nodes."""
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def height(self) -> int:
+        """Height counted in internal nodes (empty tree has height 0)."""
+
+        def h(n: TreeNode) -> int:
+            if n.is_nil:
+                return 0
+            return 1 + max(h(n.left), h(n.right))  # type: ignore[arg-type]
+
+        return h(self.root)
+
+    # -- copying / comparing ---------------------------------------------------
+    def clone(self) -> "Tree":
+        """Deep copy (the interpreter mutates fields in place)."""
+
+        def c(n: TreeNode) -> TreeNode:
+            if n.is_nil:
+                return nil()
+            return TreeNode(c(n.left), c(n.right), dict(n.fields))  # type: ignore[arg-type]
+
+        return Tree(c(self.root))
+
+    def same_shape(self, other: "Tree") -> bool:
+        return set(self.paths(include_nil=True)) == set(other.paths(include_nil=True))
+
+    def fields_equal(self, other: "Tree", fields: Optional[List[str]] = None) -> bool:
+        """Shape equality plus per-node field equality.
+
+        When ``fields`` is given only those fields are compared (used to
+        ignore scratch fields introduced by program rewrites).
+        """
+        if not self.same_shape(other):
+            return False
+        for p in self.paths():
+            a, b = self.node_at(p), other.node_at(p)
+            if fields is None:
+                keys = set(a.fields) | set(b.fields)
+            else:
+                keys = set(fields)
+            for k in keys:
+                if a.get(k) != b.get(k):
+                    return False
+        return True
+
+    def map_fields(self, fn: Callable[[TreeNode], None]) -> "Tree":
+        """Apply ``fn`` to every internal node in place; returns self."""
+        for n in self.nodes():
+            fn(n)
+        return self
+
+    # -- rendering ---------------------------------------------------------------
+    def render(self, fields: Optional[List[str]] = None) -> str:
+        """ASCII rendering, one node per line, indented by depth."""
+        lines: List[str] = []
+
+        def go(n: TreeNode, depth: int, tag: str) -> None:
+            pad = "  " * depth
+            if n.is_nil:
+                lines.append(f"{pad}{tag}nil")
+                return
+            shown = (
+                {k: n.fields[k] for k in fields if k in n.fields}
+                if fields is not None
+                else n.fields
+            )
+            lines.append(f"{pad}{tag}node{shown}")
+            go(n.left, depth + 1, "l: ")  # type: ignore[arg-type]
+            go(n.right, depth + 1, "r: ")  # type: ignore[arg-type]
+
+        go(self.root, 0, "")
+        return "\n".join(lines)
+
+
+def tree_to_tuple(t: Tree) -> object:
+    """Serialize a tree to nested tuples ``(fields, left, right)`` / None."""
+
+    def go(n: TreeNode) -> object:
+        if n.is_nil:
+            return None
+        return (tuple(sorted(n.fields.items())), go(n.left), go(n.right))  # type: ignore[arg-type]
+
+    return go(t.root)
+
+
+def tree_from_tuple(obj: object) -> Tree:
+    """Inverse of :func:`tree_to_tuple`."""
+
+    def go(o: object) -> TreeNode:
+        if o is None:
+            return nil()
+        flds, l, r = o  # type: ignore[misc]
+        return TreeNode(go(l), go(r), dict(flds))
+
+    return Tree(go(obj))

@@ -1,0 +1,80 @@
+"""Left-child / right-sibling conversion for n-ary trees.
+
+CSS ASTs (and most document trees) are n-ary; Retreet and the MSO encoding
+work on binary trees.  Following the paper's §5 preprocessing, an n-ary tree
+converts to binary form where ``l`` points to the first child and ``r`` to
+the next sibling.  The conversion preserves per-node fields, and "for each
+child p: T(n.p)" traversals become ``T(n.l); T(n.r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .heap import Tree, TreeNode, nil, node
+
+__all__ = ["NaryNode", "to_lcrs", "from_lcrs"]
+
+
+@dataclass
+class NaryNode:
+    """A node of an n-ary tree with integer fields."""
+
+    fields: Dict[str, int] = field(default_factory=dict)
+    children: List["NaryNode"] = field(default_factory=list)
+
+    def add(self, child: "NaryNode") -> "NaryNode":
+        self.children.append(child)
+        return child
+
+    def get(self, name: str) -> int:
+        return self.fields.get(name, 0)
+
+    def set(self, name: str, value: int) -> None:
+        self.fields[name] = int(value)
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    @property
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+def to_lcrs(root: NaryNode) -> Tree:
+    """Convert an n-ary tree to left-child/right-sibling binary form."""
+
+    def conv(n: NaryNode, siblings: List[NaryNode]) -> TreeNode:
+        first_child = (
+            conv(n.children[0], n.children[1:]) if n.children else nil()
+        )
+        next_sib = conv(siblings[0], siblings[1:]) if siblings else nil()
+        return node(first_child, next_sib, **n.fields)
+
+    return Tree(conv(root, []))
+
+
+def from_lcrs(tree: Tree) -> Optional[NaryNode]:
+    """Inverse of :func:`to_lcrs` (the root must have no siblings)."""
+    if tree.root.is_nil:
+        return None
+
+    def conv(t: TreeNode) -> List[NaryNode]:
+        """The node at t plus its following siblings, as n-ary nodes."""
+        out: List[NaryNode] = []
+        cur: Optional[TreeNode] = t
+        while cur is not None and not cur.is_nil:
+            n = NaryNode(dict(cur.fields))
+            if cur.left is not None and not cur.left.is_nil:
+                n.children = conv(cur.left)
+            out.append(n)
+            cur = cur.right
+        return out
+
+    roots = conv(tree.root)
+    if len(roots) != 1:
+        raise ValueError("LCRS root has siblings; not a converted n-ary tree")
+    return roots[0]

@@ -1,0 +1,73 @@
+"""Shared fixtures: case-study programs and small tree scopes."""
+
+import pytest
+
+from repro.casestudies import css, cycletree, sizecount, treemutation
+from repro.trees.generators import all_shapes
+
+
+@pytest.fixture(scope="session")
+def small_trees():
+    """Every tree shape with up to 3 internal nodes (9 trees)."""
+    return [t for n in range(4) for t in all_shapes(n)]
+
+
+@pytest.fixture(scope="session")
+def tiny_trees():
+    """Every tree shape with up to 2 internal nodes (4 trees)."""
+    return [t for n in range(3) for t in all_shapes(n)]
+
+
+@pytest.fixture(scope="session")
+def sizecount_par():
+    return sizecount.parallel_program()
+
+
+@pytest.fixture(scope="session")
+def sizecount_seq():
+    return sizecount.sequential_program()
+
+
+@pytest.fixture(scope="session")
+def sizecount_fused():
+    return sizecount.fused_valid()
+
+
+@pytest.fixture(scope="session")
+def sizecount_fused_bad():
+    return sizecount.fused_invalid()
+
+
+@pytest.fixture(scope="session")
+def treemutation_orig():
+    return treemutation.original_program()
+
+
+@pytest.fixture(scope="session")
+def treemutation_fused():
+    return treemutation.fused_program()
+
+
+@pytest.fixture(scope="session")
+def css_orig():
+    return css.original_program()
+
+
+@pytest.fixture(scope="session")
+def css_fused():
+    return css.fused_program()
+
+
+@pytest.fixture(scope="session")
+def cycletree_seq():
+    return cycletree.sequential_program()
+
+
+@pytest.fixture(scope="session")
+def cycletree_par():
+    return cycletree.parallel_program()
+
+
+@pytest.fixture(scope="session")
+def cycletree_fused():
+    return cycletree.fused_program()

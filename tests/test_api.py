@@ -1,0 +1,97 @@
+"""Tests for the top-level verification API (engines, replay, fallback)."""
+
+import pytest
+
+from repro import check_data_race, check_equivalence
+from repro.casestudies import cycletree, sizecount, treemutation
+
+
+class TestDataRaceApi:
+    def test_bounded_race_free(self, sizecount_par):
+        r = check_data_race(sizecount_par, engine="bounded")
+        assert r.verdict == "race-free" and r.holds
+        assert r.engine == "bounded"
+
+    def test_bounded_race_found_and_replayed(self, cycletree_par):
+        r = check_data_race(cycletree_par, engine="bounded")
+        assert r.verdict == "race" and not r.holds
+        assert r.replay is not None and r.replay.confirmed
+        assert "race" in r.replay.detail
+
+    def test_invalid_program_rejected(self):
+        from repro.lang import ValidationError, parse_program
+
+        p = parse_program("F(n) { x = F(n); return x }")
+        with pytest.raises(ValidationError):
+            check_data_race(p, engine="bounded")
+
+    def test_result_str(self, sizecount_par):
+        r = check_data_race(sizecount_par, engine="bounded")
+        assert "race-free" in str(r) and "bounded" in str(r)
+
+
+class TestEquivalenceApi:
+    def test_valid_fusion(self, sizecount_seq, sizecount_fused):
+        r = check_equivalence(
+            sizecount_seq,
+            sizecount_fused,
+            sizecount.fusion_correspondence(),
+            engine="bounded",
+        )
+        assert r.verdict == "equivalent" and r.holds
+        assert "bisimulation" in r.details
+
+    def test_invalid_fusion_replay_confirms(
+        self, sizecount_seq, sizecount_fused_bad
+    ):
+        r = check_equivalence(
+            sizecount_seq,
+            sizecount_fused_bad,
+            sizecount.invalid_fusion_correspondence(),
+            engine="bounded",
+        )
+        assert r.verdict == "not-equivalent"
+        assert r.replay is not None and r.replay.confirmed
+        assert "differ" in r.replay.detail
+
+    def test_bisim_gate(self):
+        """Programs failing bisimulation are rejected before the conflict
+        query runs."""
+        from repro.core.transform import correspondence_by_key
+        from repro.lang import parse_program
+
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { a = F(n.l); "
+            "return a + 1 } }\nMain(n) { x = F(n); return x }",
+            name="left",
+        )
+        q = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { a = F(n.r); "
+            "return a + 1 } }\nMain(n) { x = F(n); return x }",
+            name="right",
+        )
+        r = check_equivalence(
+            p, q, correspondence_by_key(p, q), engine="bounded"
+        )
+        assert r.verdict == "not-equivalent" and r.engine == "bisim"
+
+    def test_bisim_gate_can_be_skipped(self, sizecount_seq, sizecount_fused):
+        r = check_equivalence(
+            sizecount_seq,
+            sizecount_fused,
+            sizecount.fusion_correspondence(),
+            engine="bounded",
+            check_bisim=False,
+        )
+        assert "bisimulation" not in r.details
+
+    def test_treemutation_equivalent(
+        self, treemutation_orig, treemutation_fused
+    ):
+        r = check_equivalence(
+            treemutation_orig,
+            treemutation_fused,
+            treemutation.fusion_correspondence(),
+            engine="bounded",
+        )
+        assert r.verdict == "equivalent"

@@ -1,0 +1,211 @@
+"""Tests for the QF_LIA mini-solver and case-split lowering."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import (
+    EQ,
+    GE,
+    GT,
+    Constraint,
+    LinTerm,
+    bexpr_to_dnf,
+    check_sat,
+    is_satisfiable,
+    linearize_aexpr,
+)
+from repro.lang import ast as A
+from repro.lang.exprs import eval_aexpr, eval_bexpr
+from repro.lang.parser import parse_expr
+
+x, y, z = LinTerm.var("x"), LinTerm.var("y"), LinTerm.var("z")
+one = LinTerm.constant(1)
+
+
+class TestLinTerm:
+    def test_add_sub(self):
+        t = (x + y) - x
+        assert t.coeff("x") == 0 and t.coeff("y") == 1
+
+    def test_scale(self):
+        t = x.scale(3) + LinTerm.constant(2)
+        assert t.coeff("x") == 3 and t.const == 2
+
+    def test_zero_coeffs_dropped(self):
+        t = x - x
+        assert t.is_constant
+
+    def test_substitute(self):
+        t = x.scale(2) + y
+        s = t.substitute("x", y + one)
+        assert s.coeff("y") == 3 and s.const == 2
+
+    def test_evaluate(self):
+        t = x.scale(2) - y + LinTerm.constant(5)
+        assert t.evaluate({"x": 3, "y": 1}) == 10
+
+
+class TestConstraintNegation:
+    def test_negate_ge(self):
+        (c,) = Constraint(x, GE).negated()
+        assert c.op == GT and c.term.coeff("x") == -1
+
+    def test_negate_eq_two_cases(self):
+        cases = Constraint(x, EQ).negated()
+        assert len(cases) == 2
+
+    def test_holds(self):
+        assert Constraint(x - one, GE).holds({"x": 1})
+        assert not Constraint(x - one, GT).holds({"x": 1})
+
+
+class TestSat:
+    def test_trivial_sat(self):
+        assert check_sat([]).status == "sat"
+
+    def test_simple_unsat(self):
+        r = check_sat([Constraint(x, GT), Constraint(x.scale(-1), GE)])
+        assert r.status == "unsat"
+
+    def test_model_satisfies(self):
+        cons = [
+            Constraint(x - LinTerm.constant(3), GE),
+            Constraint(LinTerm.constant(7) - x, GE),
+            Constraint(x - y - one, EQ),
+        ]
+        r = check_sat(cons)
+        assert r.status == "sat"
+        assert all(c.holds(r.model) for c in cons)
+
+    def test_integer_infeasible_bounded(self):
+        # 2x == 1
+        r = check_sat([Constraint(x.scale(2) - one, EQ)])
+        assert r.status == "unsat"
+
+    def test_integer_gap(self):
+        # 1 < 2x < 3 has no integer solution (x must be 1 -> 2x = 2 ok!)
+        # use 2 < 2x < 4 -> x ∈ (1,2): empty over Z.
+        r = check_sat(
+            [
+                Constraint(x.scale(2) - LinTerm.constant(2) - one, GE),
+                Constraint(LinTerm.constant(4) - x.scale(2) - one, GE),
+            ]
+        )
+        assert r.status == "unsat"
+
+    def test_unbounded_parity_unknown_is_possibly_sat(self):
+        # 2x - 2y == 1: rationally feasible, integrally infeasible and
+        # unbounded; the solver may return unknown, which must read as
+        # "possibly sat" (sound over-approximation).
+        r = check_sat([Constraint(x.scale(2) - y.scale(2) - one, EQ)])
+        assert r.status in ("unsat", "unknown")
+        if r.status == "unknown":
+            assert r.possibly_sat
+
+    def test_fractional_coefficients(self):
+        t = LinTerm.of({"x": Fraction(1, 2)}, Fraction(-1, 2))
+        r = check_sat([Constraint(t, GE)])  # x/2 - 1/2 >= 0 -> x >= 1
+        assert r.status == "sat" and r.model["x"] >= 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-4, 4),
+                st.sampled_from([GE, GT, EQ]),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_brute_force(self, rows):
+        """On a small integer box, solver-sat implies a model exists and
+        brute-force-sat implies the solver does not claim unsat."""
+        cons = [
+            Constraint(
+                LinTerm.of({"x": a, "y": b}, c), op
+            )
+            for a, b, c, op in rows
+        ]
+        brute = any(
+            all(c.holds({"x": vx, "y": vy}) for c in cons)
+            for vx in range(-8, 9)
+            for vy in range(-8, 9)
+        )
+        r = check_sat(cons)
+        if brute:
+            assert r.status != "unsat"
+        if r.status == "sat":
+            assert all(c.holds(r.model) for c in cons)
+
+    def test_is_satisfiable_wrapper(self):
+        assert is_satisfiable([Constraint(x, GE)])
+
+
+class TestLinearize:
+    def _name(self, key):
+        return key if isinstance(key, str) else "@" + "_".join(map(str, key))
+
+    def test_plain_expr_single_case(self):
+        cases = linearize_aexpr(parse_expr("a + 2 - b"), self._name)
+        assert len(cases) == 1
+        term, side = cases[0]
+        assert side == [] and term.const == 2
+
+    def test_max_two_cases(self):
+        cases = linearize_aexpr(parse_expr("max(a, b)"), self._name)
+        assert len(cases) == 2
+
+    def test_nested_max_min(self):
+        cases = linearize_aexpr(parse_expr("max(a, min(b, c))"), self._name)
+        assert len(cases) == 4  # a vs each min-case, plus the 2 min-cases
+
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_cases_cover_and_agree(self, a, b, c):
+        """For every input, exactly the case whose side conditions hold
+        evaluates to the expression's true value."""
+        e = parse_expr("max(a, b, c) - min(a, b)")
+        env = {"a": a, "b": b, "c": c}
+        want = eval_aexpr(e, env, lambda *_: 0)
+        cases = linearize_aexpr(e, self._name)
+        hits = [
+            term.evaluate(env)
+            for term, side in cases
+            if all(cc.holds(env) for cc in side)
+        ]
+        assert hits and all(h == want for h in hits)
+
+
+class TestBexprToDnf:
+    def _name(self, key):
+        return key if isinstance(key, str) else "@" + "_".join(map(str, key))
+
+    @given(st.integers(-6, 6), st.integers(-6, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_dnf_semantics(self, a, b):
+        bx = A.BOr(
+            A.BAnd(A.Gt(A.Var("a")), A.Not(A.Eq0(A.Var("b")))),
+            A.Eq0(A.Sub(A.Var("a"), A.Var("b"))),
+        )
+        env = {"a": a, "b": b}
+        want = eval_bexpr(bx, env, lambda *_: 0, lambda l: False)
+        for polarity in (True, False):
+            dnf = bexpr_to_dnf(bx, polarity, self._name)
+            got = any(all(c.holds(env) for c in conj) for conj in dnf)
+            assert got == (want == polarity)
+
+    def test_nil_unresolved_raises(self):
+        from repro.arith import NonLinearError
+
+        with pytest.raises(NonLinearError):
+            bexpr_to_dnf(A.IsNil(A.LocVar()), True, self._name)
+
+    def test_nil_resolved(self):
+        dnf = bexpr_to_dnf(
+            A.IsNil(A.LocVar()), True, self._name, resolve_nil=lambda l: True
+        )
+        assert dnf == [[]]

@@ -1,0 +1,84 @@
+"""Tests for the baseline analyses (and the precision story they tell)."""
+
+import pytest
+
+from repro.baselines import (
+    CoarseAnalysis,
+    fields_mentioned,
+    syntactic_parallel_ok,
+)
+from repro.casestudies import css, cycletree, sizecount, treemutation
+
+
+class TestCoarseSummaries:
+    def test_closure_mutual_recursion(self, sizecount_par):
+        ca = CoarseAnalysis(sizecount_par)
+        assert ca.closure("Odd") == {"Odd", "Even"}
+
+    def test_closure_self_recursion(self, css_orig):
+        ca = CoarseAnalysis(css_orig)
+        assert ca.closure("ConvertValues") == {"ConvertValues"}
+
+    def test_summary_fields(self, css_orig):
+        ca = CoarseAnalysis(css_orig)
+        s = ca.summary("MinifyFont")
+        assert "value" in s.writes and "prop" in s.reads
+
+    def test_self_dependent(self, cycletree_seq):
+        ca = CoarseAnalysis(cycletree_seq)
+        assert ca.summary("ComputeRouting").self_dependent
+
+
+class TestPrecisionStory:
+    """The paper's claim: prior coarse analyses cannot justify these
+    transformations; Retreet can (see test_bounded.py for the proofs)."""
+
+    def test_coarse_rejects_sizecount_fusion(self, sizecount_seq):
+        ca = CoarseAnalysis(sizecount_seq)
+        ok, reasons = ca.can_fuse("Odd", "Even")
+        assert not ok
+        assert any("mutually recursive" in r for r in reasons)
+
+    def test_coarse_rejects_css_fusion(self, css_orig):
+        ca = CoarseAnalysis(css_orig)
+        ok, reasons = ca.can_fuse("ConvertValues", "MinifyFont")
+        assert not ok
+        assert any("value" in r for r in reasons)
+
+    def test_coarse_rejects_cycletree_fusion(self, cycletree_seq):
+        ca = CoarseAnalysis(cycletree_seq)
+        ok, _ = ca.can_fuse("RootMode", "ComputeRouting")
+        assert not ok
+
+    def test_coarse_rejects_cycletree_parallel(self, cycletree_seq):
+        """Here coarse agrees with Retreet: the parallelization races."""
+        ca = CoarseAnalysis(cycletree_seq)
+        ok, reasons = ca.can_parallelize("RootMode", "ComputeRouting")
+        assert not ok
+        assert any("num" in r for r in reasons)
+
+    def test_coarse_accepts_disjoint_parallel(self):
+        from repro.lang import parse_program
+
+        p = parse_program(
+            "A(n) { if (n == nil) { return 0 } else { n.a = 1; return 0 } }\n"
+            "B(n) { if (n == nil) { return 0 } else { n.b = 1; return 0 } }\n"
+            "Main(n) { x = A(n); y = B(n); return 0 }"
+        )
+        assert CoarseAnalysis(p).can_parallelize("A", "B")[0]
+
+
+class TestSyntactic:
+    def test_fields_mentioned(self, treemutation_orig):
+        fields = fields_mentioned(treemutation_orig, "IncrmLeft")
+        assert "v" in fields and "lr" in fields
+
+    def test_parallel_shared_field_rejected(self, cycletree_par):
+        ok, reasons = syntactic_parallel_ok(
+            cycletree_par, "RootMode", "ComputeRouting"
+        )
+        assert not ok and any("num" in r for r in reasons)
+
+    def test_parallel_disjoint_ok(self, sizecount_par):
+        ok, _ = syntactic_parallel_ok(sizecount_par, "Odd", "Even")
+        assert ok  # no fields at all — syntactically clean

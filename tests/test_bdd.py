@@ -1,0 +1,186 @@
+"""Tests for the ROBDD library, incl. brute-force equivalence properties."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+
+N_VARS = 4
+
+
+def _truth_table(mgr, u):
+    rows = []
+    for bits in itertools.product((False, True), repeat=N_VARS):
+        rows.append(mgr.evaluate(u, lambda lvl: bits[lvl]))
+    return tuple(rows)
+
+
+@st.composite
+def bdd_exprs(draw, depth=4):
+    """Random boolean expression trees as (op, args) tuples."""
+    if depth == 0:
+        return draw(
+            st.sampled_from(
+                [("var", i) for i in range(N_VARS)] + [("const", 0), ("const", 1)]
+            )
+        )
+    op = draw(st.sampled_from(["var", "not", "and", "or"]))
+    if op == "var":
+        return ("var", draw(st.integers(0, N_VARS - 1)))
+    if op == "not":
+        return ("not", draw(bdd_exprs(depth=depth - 1)))
+    return (op, draw(bdd_exprs(depth=depth - 1)), draw(bdd_exprs(depth=depth - 1)))
+
+
+def _build(mgr, e):
+    if e[0] == "var":
+        return mgr.var(e[1])
+    if e[0] == "const":
+        return mgr.true if e[1] else mgr.false
+    if e[0] == "not":
+        return mgr.apply_not(_build(mgr, e[1]))
+    a, b = _build(mgr, e[1]), _build(mgr, e[2])
+    return mgr.apply_and(a, b) if e[0] == "and" else mgr.apply_or(a, b)
+
+
+def _eval_expr(e, bits):
+    if e[0] == "var":
+        return bits[e[1]]
+    if e[0] == "const":
+        return bool(e[1])
+    if e[0] == "not":
+        return not _eval_expr(e[1], bits)
+    a, b = _eval_expr(e[1], bits), _eval_expr(e[2], bits)
+    return (a and b) if e[0] == "and" else (a or b)
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = BDDManager()
+        assert mgr.true == 1 and mgr.false == 0
+
+    def test_var_nvar(self):
+        mgr = BDDManager()
+        v = mgr.var(0)
+        assert mgr.evaluate(v, lambda l: True)
+        assert not mgr.evaluate(mgr.nvar(0), lambda l: True)
+
+    def test_hash_consing(self):
+        mgr = BDDManager()
+        a = mgr.apply_and(mgr.var(0), mgr.var(1))
+        b = mgr.apply_and(mgr.var(1), mgr.var(0))
+        assert a == b  # canonical
+
+    def test_idempotence(self):
+        mgr = BDDManager()
+        v = mgr.var(2)
+        assert mgr.apply_and(v, v) == v
+        assert mgr.apply_or(v, v) == v
+
+    def test_complement_involution(self):
+        mgr = BDDManager()
+        u = mgr.apply_or(mgr.var(0), mgr.nvar(1))
+        assert mgr.apply_not(mgr.apply_not(u)) == u
+
+    def test_excluded_middle(self):
+        mgr = BDDManager()
+        v = mgr.var(0)
+        assert mgr.apply_or(v, mgr.apply_not(v)) == mgr.true
+        assert mgr.apply_and(v, mgr.apply_not(v)) == mgr.false
+
+    def test_conj_disj_helpers(self):
+        mgr = BDDManager()
+        vs = [mgr.var(i) for i in range(3)]
+        assert mgr.evaluate(mgr.conj(vs), lambda l: True)
+        assert not mgr.evaluate(mgr.disj(vs), lambda l: False)
+
+    def test_ite(self):
+        mgr = BDDManager()
+        f = mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2))
+        assert mgr.evaluate(f, lambda l: l in (0, 1))
+        assert mgr.evaluate(f, lambda l: l == 2)
+
+
+class TestCofactorQuantify:
+    def test_restrict(self):
+        mgr = BDDManager()
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.restrict(f, 0, True) == mgr.var(1)
+        assert mgr.restrict(f, 0, False) == mgr.false
+
+    def test_exists(self):
+        mgr = BDDManager()
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.exists(f, frozenset({0})) == mgr.var(1)
+
+    def test_exists_removes_support(self):
+        mgr = BDDManager()
+        f = mgr.apply_or(mgr.var(0), mgr.var(2))
+        g = mgr.exists(f, frozenset({0}))
+        assert 0 not in mgr.support(g)
+
+    def test_support(self):
+        mgr = BDDManager()
+        f = mgr.apply_and(mgr.var(1), mgr.apply_or(mgr.var(3), mgr.nvar(1)))
+        assert mgr.support(f) <= {1, 3}
+
+
+class TestModels:
+    def test_pick_cube_satisfies(self):
+        mgr = BDDManager()
+        f = mgr.apply_and(mgr.nvar(0), mgr.var(2))
+        cube = mgr.pick_cube(f)
+        assert mgr.evaluate(f, lambda l: cube.get(l, False))
+
+    def test_pick_cube_none_for_false(self):
+        mgr = BDDManager()
+        assert mgr.pick_cube(mgr.false) is None
+
+    def test_iter_cubes_disjoint_cover(self):
+        mgr = BDDManager()
+        f = mgr.apply_or(mgr.var(0), mgr.var(1))
+        sat_count = 0
+        for cube in mgr.iter_cubes(f):
+            free = N_VARS - len(cube)
+            sat_count += 2**free
+        # f has 3 satisfying rows over vars {0,1}, times 2^2 for the rest.
+        assert sat_count == 12
+
+
+class TestBruteForceEquivalence:
+    @given(bdd_exprs(), bdd_exprs())
+    @settings(max_examples=120, deadline=None)
+    def test_ops_match_semantics(self, e1, e2):
+        mgr = BDDManager()
+        u1, u2 = _build(mgr, e1), _build(mgr, e2)
+        for bits in itertools.product((False, True), repeat=N_VARS):
+            env = lambda lvl: bits[lvl]
+            assert mgr.evaluate(u1, env) == _eval_expr(e1, bits)
+            assert mgr.evaluate(
+                mgr.apply_and(u1, u2), env
+            ) == (_eval_expr(e1, bits) and _eval_expr(e2, bits))
+            assert mgr.evaluate(
+                mgr.apply_diff(u1, u2), env
+            ) == (_eval_expr(e1, bits) and not _eval_expr(e2, bits))
+
+    @given(bdd_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_canonicity(self, e):
+        """Semantically equal expressions build the identical node."""
+        mgr = BDDManager()
+        u = _build(mgr, e)
+        v = _build(mgr, ("not", ("not", e)))
+        assert u == v
+
+    @given(bdd_exprs(), st.integers(0, N_VARS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_exists_is_or_of_cofactors(self, e, lvl):
+        mgr = BDDManager()
+        u = _build(mgr, e)
+        ex = mgr.exists(u, frozenset({lvl}))
+        both = mgr.apply_or(
+            mgr.restrict(u, lvl, False), mgr.restrict(u, lvl, True)
+        )
+        assert ex == both

@@ -1,0 +1,141 @@
+"""Tests for bisimulation checking and program transformations."""
+
+import pytest
+
+from repro.casestudies import css, cycletree, sizecount, treemutation
+from repro.core.bisim import check_bisimulation
+from repro.core.transform import (
+    correspondence_by_key,
+    invert_correspondence,
+    parallelize_entry,
+    sequentialize_entry,
+)
+from repro.interp import run
+from repro.lang import parse_program, program_source
+from repro.trees.generators import full_tree, random_tree
+
+
+class TestBisimulation:
+    def test_sizecount_valid_fusion(self):
+        r = check_bisimulation(
+            sizecount.sequential_program(),
+            sizecount.fused_valid(),
+            sizecount.fusion_correspondence(),
+        )
+        assert r.bisimilar
+
+    def test_sizecount_invalid_fusion_still_bisimilar(self):
+        """Fig. 6b is structurally bisimilar — its bug is a *schedule*
+        conflict, caught by the Conflict query, not by bisimulation."""
+        r = check_bisimulation(
+            sizecount.sequential_program(),
+            sizecount.fused_invalid(),
+            sizecount.invalid_fusion_correspondence(),
+        )
+        assert r.bisimilar
+
+    def test_all_case_studies_bisimilar(self):
+        cases = [
+            (treemutation.original_program(), treemutation.fused_program(),
+             treemutation.fusion_correspondence()),
+            (css.original_program(), css.fused_program(),
+             css.fusion_correspondence()),
+            (cycletree.sequential_program(), cycletree.fused_program(),
+             cycletree.fusion_correspondence()),
+        ]
+        for p, q, m in cases:
+            r = check_bisimulation(p, q, m)
+            assert r.bisimilar, (p.name, r.problems[:3])
+
+    def test_structurally_different_not_bisimilar(self):
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { a = F(n.l); "
+            "return a + 1 } }\nMain(n) { x = F(n); return x }",
+            name="left-only",
+        )
+        q = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { a = F(n.r); "
+            "return a + 1 } }\nMain(n) { x = F(n); return x }",
+            name="right-only",
+        )
+        # return blocks match textually; the calls descend differently.
+        mapping = correspondence_by_key(p, q)
+        r = check_bisimulation(p, q, mapping)
+        assert not r.bisimilar
+
+    def test_relation_includes_entry(self):
+        r = check_bisimulation(
+            sizecount.sequential_program(),
+            sizecount.fused_valid(),
+            sizecount.fusion_correspondence(),
+        )
+        assert ("main", "main") in r.relation
+
+    def test_result_str(self):
+        r = check_bisimulation(
+            sizecount.sequential_program(),
+            sizecount.fused_valid(),
+            sizecount.fusion_correspondence(),
+        )
+        assert "bisimilar" in str(r)
+
+
+class TestTransforms:
+    def test_parallelize_entry(self, sizecount_seq):
+        par = parallelize_entry(sizecount_seq)
+        assert "||" in program_source(par)
+        # Semantics preserved (the traversals are independent).
+        for seed in range(3):
+            t = random_tree(8, seed=seed)
+            assert run(par, t).returns == run(sizecount_seq, t).returns
+
+    def test_sequentialize_entry(self, sizecount_par):
+        seq = sequentialize_entry(sizecount_par)
+        assert "||" not in program_source(seq)
+        t = full_tree(3)
+        assert run(seq, t).returns == run(sizecount_par, t).returns
+
+    def test_round_trip(self, sizecount_seq):
+        rt = sequentialize_entry(parallelize_entry(sizecount_seq))
+        assert program_source(rt) == program_source(sizecount_seq)
+
+    def test_parallelize_requires_two_calls(self):
+        p = parse_program("Main(n) { return 0 }")
+        with pytest.raises(ValueError):
+            parallelize_entry(p)
+
+    def test_original_untouched(self, sizecount_seq):
+        src_before = program_source(sizecount_seq)
+        parallelize_entry(sizecount_seq)
+        assert program_source(sizecount_seq) == src_before
+
+
+class TestCorrespondence:
+    def test_by_key_identity(self, sizecount_seq):
+        m = correspondence_by_key(sizecount_seq, sizecount_seq)
+        for sid, images in m.items():
+            assert sid in images
+
+    def test_by_key_with_overrides(self):
+        p = sizecount.sequential_program()
+        q = sizecount.fused_valid()
+        m = correspondence_by_key(
+            p, q, overrides=sizecount.fusion_correspondence()
+        )
+        assert m == sizecount.fusion_correspondence()
+
+    def test_strict_missing_raises(self):
+        p = parse_program("F(n) { return 41 }", name="a")
+        q = parse_program("F(n) { return 42 }", name="b")
+        with pytest.raises(ValueError):
+            correspondence_by_key(p, q)
+
+    def test_non_strict_skips(self):
+        p = parse_program("F(n) { return 41 }", name="a")
+        q = parse_program("F(n) { return 42 }", name="b")
+        assert correspondence_by_key(p, q, strict=False) == {}
+
+    def test_invert(self):
+        m = {"a": {"x", "y"}, "b": {"x"}}
+        inv = invert_correspondence(m)
+        assert inv == {"x": {"a", "b"}, "y": {"a"}}

@@ -1,0 +1,186 @@
+"""Tests for the block model: numbering, relations (Fig. 11), paths."""
+
+import pytest
+
+from repro.lang import BlockTable, Relation, parse_program
+from repro.lang.parser import parse_program
+
+
+class TestNumberingMatchesPaper:
+    """The running example must reproduce the paper's s0..s10 numbering."""
+
+    def test_sizecount_blocks(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        expect = {
+            "s0": "return 0",
+            "s3": "return ((ls + rs) + 1)",
+            "s4": "return 0",
+            "s7": "return (ls + rs)",
+            "s10": "return o, e",
+        }
+        for sid, text in expect.items():
+            assert str(t.block(sid).stmt) == text
+
+    def test_sizecount_call_noncall_split(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        calls = {b.sid for b in t.all_calls}
+        noncalls = {b.sid for b in t.all_noncalls}
+        assert calls == {"s1", "s2", "s5", "s6", "s8", "s9"}
+        assert noncalls == {"s0", "s3", "s4", "s7", "s10"}
+
+    def test_sizecount_conditions(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        assert [c.cid for c in t.conds] == ["c0", "c1"]
+        assert [c.func for c in t.conds] == ["Odd", "Even"]
+
+
+class TestRelations:
+    """Example 1 of the paper, Appendix B."""
+
+    @pytest.fixture
+    def table(self, sizecount_par):
+        return BlockTable(sizecount_par)
+
+    def test_calls_into(self, table):
+        # s2 ◁ s7: s2 calls Even and s7 ∈ Blocks(Even).
+        assert table.calls_into(table.block("s2"), table.block("s7"))
+
+    def test_calls_into_negative(self, table):
+        assert not table.calls_into(table.block("s2"), table.block("s3"))
+
+    def test_precedes(self, table):
+        # s5 ≺ s7.
+        assert table.precedes(table.block("s5"), table.block("s7"))
+        assert table.relation(table.block("s7"), table.block("s5")) == Relation.SEQ_AFTER
+
+    def test_conditional(self, table):
+        # s0 ↑ s1.
+        assert table.conditional(table.block("s0"), table.block("s1"))
+
+    def test_parallel(self, table):
+        # s8 ‖ s9.
+        assert table.parallel(table.block("s8"), table.block("s9"))
+
+    def test_unrelated_across_functions(self, table):
+        assert (
+            table.relation(table.block("s0"), table.block("s4"))
+            == Relation.UNRELATED
+        )
+
+    def test_relation_of_self_raises(self, table):
+        with pytest.raises(ValueError):
+            table.relation(table.block("s0"), table.block("s0"))
+
+    def test_exactly_one_relation(self, table):
+        """Lemma 2: same-function blocks satisfy exactly one of ≺, ↑, ‖."""
+        for a in table.blocks:
+            for b in table.blocks:
+                if a is b or a.func != b.func:
+                    continue
+                rel = table.relation(a, b)
+                assert rel in (
+                    Relation.SEQ_BEFORE,
+                    Relation.SEQ_AFTER,
+                    Relation.CONDITIONAL,
+                    Relation.PARALLEL,
+                )
+
+
+class TestPaths:
+    def test_path_conditions_else_branch(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        # Path(s6) goes through !c1 (per the paper's Example 1).
+        path = t.path_conditions(t.block("s6"))
+        assert [(c.cid, pol) for c, pol in path] == [("c1", False)]
+
+    def test_path_conditions_then_branch(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        path = t.path_conditions(t.block("s0"))
+        assert [(c.cid, pol) for c, pol in path] == [("c0", True)]
+
+    def test_path_conditions_unguarded(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        assert t.path_conditions(t.block("s10")) == ()
+
+    def test_straightline_path_to_s3(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        paths = t.straightline_paths(t.block("s3"))
+        assert len(paths) == 1
+        kinds = [
+            (i.kind, i.block.sid if i.block else (i.cond.cid, i.polarity))
+            for i in paths[0]
+        ]
+        assert kinds == [
+            ("assume", ("c0", False)),
+            ("block", "s1"),
+            ("block", "s2"),
+        ]
+
+    def test_straightline_path_stops_at_return(self):
+        # A block after a returning block is unreachable through it.
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { n.v = 1 }; return 2 }"
+        )
+        t = BlockTable(p)
+        final = [b for b in t.all_noncalls if "return 2" in str(b.stmt)][0]
+        paths = t.straightline_paths(final)
+        # Only the else path (which doesn't return) reaches the final block.
+        assert len(paths) == 1
+        assert paths[0][0].polarity is False
+
+    def test_nested_if_paths(self, treemutation_orig):
+        t = BlockTable(treemutation_orig)
+        # n.v = n.r.v + 1 sits under !c1, c2, !c3.
+        blocks = [b for b in t.all_noncalls if "n.r.v" in str(b.stmt)]
+        assert len(blocks) == 1
+        conds = [(c.cid, pol) for c, pol in t.path_conditions(blocks[0])]
+        assert conds == [("c1", False), ("c2", True), ("c3", False)]
+
+    def test_multiple_paths_through_branching_sibling(self):
+        p = parse_program(
+            "F(n, k) { if (k > 0) { n.a = 1 } else { n.a = 2 }; n.b = 3; "
+            "return 0 }"
+        )
+        t = BlockTable(p)
+        final = [b for b in t.all_noncalls if "n.b" in str(b.stmt)][0]
+        assert len(t.straightline_paths(final)) == 2
+
+    def test_par_branch_excludes_sibling(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        # Path to s9 must not execute s8 (they are parallel siblings).
+        paths = t.straightline_paths(t.block("s9"))
+        for p in paths:
+            assert all(
+                i.block is None or i.block.sid != "s8" for i in p
+            )
+
+    def test_summary_lists_all(self, sizecount_par):
+        out = BlockTable(sizecount_par).summary()
+        for sid in ("s0", "s10", "c0", "c1"):
+            assert sid in out
+
+
+class TestBlockProperties:
+    def test_has_return(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        assert t.block("s0").has_return
+        assert not t.block("s1").has_return
+
+    def test_callee(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        assert t.block("s1").callee == "Even"
+        assert t.block("s8").callee == "Odd"
+
+    def test_blocks_of(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        assert [b.sid for b in t.blocks_of("Odd")] == ["s0", "s1", "s2", "s3"]
+
+    def test_params(self, cycletree_seq):
+        t = BlockTable(cycletree_seq)
+        assert t.params("RootMode") == ("number",)
+        assert t.params("ComputeRouting") == ()
+
+    def test_of_stmt_identity(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        b = t.block("s3")
+        assert t.of_stmt(b.stmt) is b

@@ -1,0 +1,156 @@
+"""Semantic tests of the four case studies against their substrates."""
+
+import pytest
+
+from repro.casestudies import css as css_case
+from repro.casestudies import cycletree as ct_case
+from repro.casestudies import sizecount, treemutation
+from repro.interp import run
+from repro.trees.generators import all_shapes, full_tree, random_tree
+from repro.trees.heap import Tree, node
+
+
+class TestSizecount:
+    def test_fused_equals_original_exhaustive(self):
+        seq, fused = sizecount.sequential_program(), sizecount.fused_valid()
+        for t in (x for n in range(4) for x in all_shapes(n)):
+            assert run(seq, t).returns == run(fused, t).returns
+
+    def test_fused_equals_original_random(self):
+        seq, fused = sizecount.sequential_program(), sizecount.fused_valid()
+        for seed in range(6):
+            t = random_tree(13, seed=seed)
+            assert run(seq, t).returns == run(fused, t).returns
+
+    def test_invalid_fusion_differs(self):
+        """The broken fusion is semantically wrong on real trees."""
+        seq, bad = sizecount.sequential_program(), sizecount.fused_invalid()
+        diffs = 0
+        for seed in range(5):
+            t = random_tree(8, seed=seed)
+            if run(seq, t).returns != run(bad, t).returns:
+                diffs += 1
+        assert diffs > 0
+
+    def test_parallel_equals_sequential(self):
+        par, seq = sizecount.parallel_program(), sizecount.sequential_program()
+        for seed in range(4):
+            t = random_tree(9, seed=seed)
+            assert run(par, t).returns == run(seq, t).returns
+
+
+class TestTreeMutation:
+    FIELDS = treemutation.FIELDS
+
+    def test_fused_equals_original(self):
+        orig = treemutation.original_program()
+        fused = treemutation.fused_program()
+        for seed in range(6):
+            t = random_tree(10, seed=seed, field_names=("v",))
+            a, b = run(orig, t), run(fused, t)
+            assert a.field_snapshot(self.FIELDS) == b.field_snapshot(self.FIELDS)
+
+    def test_incrmleft_semantics(self):
+        """After the simulated swap, n.v = (original right child).v + 1,
+        computed bottom-up; leaves (post-swap left nil) get v = 1."""
+        orig = treemutation.original_program()
+        t = Tree(node(node(), node()))
+        r = run(orig, t)
+        # children: both leaves -> v=1; root reads new-left = orig-right.
+        assert r.tree.node_at("l").get("v") == 1
+        assert r.tree.node_at("r").get("v") == 1
+        assert r.tree.node_at("").get("v") == 2
+
+    def test_flags_written_everywhere(self):
+        orig = treemutation.original_program()
+        t = full_tree(3)
+        r = run(orig, t)
+        for n in r.tree.nodes():
+            assert n.get("lr") == 1 and n.get("ll") == 0
+
+
+class TestCssCase:
+    def test_fused_equals_original_on_encoded_ast(self):
+        from repro.trees.css import css_to_binary_tree
+
+        src = ".a { font-weight: normal; min-width: initial; width: 0px }"
+        tree = css_to_binary_tree(src)
+        a = run(css_case.original_program(), tree)
+        b = run(css_case.fused_program(), tree)
+        assert a.field_snapshot(css_case.FIELDS) == b.field_snapshot(
+            css_case.FIELDS
+        )
+
+    def test_fused_equals_original_random_fields(self):
+        for seed in range(5):
+            t = random_tree(
+                9, seed=seed, field_names=css_case.FIELDS, value_range=(0, 9)
+            )
+            a = run(css_case.original_program(), t)
+            b = run(css_case.fused_program(), t)
+            assert a.field_snapshot(css_case.FIELDS) == b.field_snapshot(
+                css_case.FIELDS
+            )
+
+    def test_reduceinit_only_on_long_values(self):
+        t = Tree(node(vlen=8, value=3))
+        r = run(css_case.original_program(), t)
+        assert r.tree.root.get("vlen") == 1 and r.tree.root.get("value") == 0
+
+    def test_minifyfont_rewrites(self):
+        t = Tree(node(prop=css_case.PROP_FONT_WEIGHT, value=9, vlen=6))
+        r = run(css_case.original_program(), t)
+        assert r.tree.root.get("value") == 400
+        assert r.tree.root.get("vlen") == 3
+
+
+class TestCycletreeCase:
+    FIELDS = ct_case.FIELDS
+
+    def test_fused_equals_original(self):
+        seq, fused = ct_case.sequential_program(), ct_case.fused_program()
+        for seed in range(5):
+            t = random_tree(9, seed=seed)
+            a, b = run(seq, t), run(fused, t)
+            assert a.field_snapshot(self.FIELDS) == b.field_snapshot(self.FIELDS)
+
+    def test_routing_intervals_consistent(self):
+        """min/max fields must bound every num in the subtree (under the
+        Fig. 9 call-by-value numbering)."""
+        seq = ct_case.sequential_program()
+        t = full_tree(3)
+        r = run(seq, t)
+
+        def subtree_nums(path):
+            out = []
+            for n in r.tree.nodes():
+                if n.path.startswith(path):
+                    out.append(n.get("num"))
+            return out
+
+        for n in r.tree.nodes():
+            nums = subtree_nums(n.path)
+            assert n.get("min") == min(nums)
+            assert n.get("max") == max(nums)
+
+    def test_parallel_version_is_schedule_dependent(self):
+        """The race is real: some schedule changes the routing fields."""
+        from repro.interp import distinct_outcomes, run as irun
+
+        par = ct_case.parallel_program()
+        # Pre-set num so the pre-write read is observable (RootMode writes
+        # 0 at the root, matching the default initial value).
+        t = Tree(node(num=5))
+        outs = distinct_outcomes(
+            lambda sch: tuple(
+                sorted(
+                    (p, f, v)
+                    for p, fs in irun(par, t, scheduler=sch)
+                    .field_snapshot(self.FIELDS)
+                    .items()
+                    for f, v in fs.items()
+                )
+            ),
+            max_schedules=5000,
+        )
+        assert len(outs) > 1

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SIZECOUNT = """
+Odd(n) {
+  if (n == nil) { return 0 }
+  else { ls = Even(n.l); rs = Even(n.r); return ls + rs + 1 }
+}
+Even(n) {
+  if (n == nil) { return 0 }
+  else { ls = Odd(n.l); rs = Odd(n.r); return ls + rs }
+}
+Main(n) {
+  { o = Odd(n) || e = Even(n) };
+  return o, e
+}
+"""
+
+RACY = """
+A(n) {
+  if (n == nil) { return 0 }
+  else { n.v = 1; return 0 }
+}
+Main(n) {
+  { a = A(n) || b = A(n) };
+  return 0
+}
+"""
+
+
+@pytest.fixture
+def sizecount_file(tmp_path):
+    f = tmp_path / "sizecount.retreet"
+    f.write_text(SIZECOUNT)
+    return str(f)
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    f = tmp_path / "racy.retreet"
+    f.write_text(RACY)
+    return str(f)
+
+
+class TestRun:
+    def test_run_full_tree(self, sizecount_file, capsys):
+        assert main(["run", sizecount_file, "--tree", "full:3"]) == 0
+        out = capsys.readouterr().out
+        assert "returns: (5, 2)" in out
+
+    def test_run_random_tree(self, sizecount_file, capsys):
+        assert main(["run", sizecount_file, "--tree", "random:6:3"]) == 0
+        assert "returns:" in capsys.readouterr().out
+
+
+class TestBlocks:
+    def test_blocks_table(self, sizecount_file, capsys):
+        assert main(["blocks", sizecount_file]) == 0
+        out = capsys.readouterr().out
+        assert "s10" in out and "c1" in out
+
+
+class TestCheckRace:
+    def test_race_free_exit_zero(self, sizecount_file, capsys):
+        rc = main(["check-race", sizecount_file, "--engine", "bounded"])
+        assert rc == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_race_exit_one(self, racy_file, capsys):
+        rc = main(["check-race", racy_file, "--engine", "bounded"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "race" in out
+
+
+class TestCheckFusion:
+    def test_identity_fusion(self, sizecount_file, tmp_path, capsys):
+        other = tmp_path / "same.retreet"
+        other.write_text(SIZECOUNT)
+        rc = main(
+            ["check-fusion", sizecount_file, str(other), "--engine", "bounded"]
+        )
+        assert rc == 0
+        assert "equivalent" in capsys.readouterr().out

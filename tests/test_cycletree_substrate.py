@@ -1,0 +1,115 @@
+"""Tests for the concrete cycletree substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.cycletree import (
+    CycletreeRouter,
+    compute_routing,
+    cycle_edges,
+    cycle_order,
+    is_hamiltonian_cycle,
+    number_cyclic,
+)
+from repro.trees.generators import full_tree, left_chain, random_tree
+from repro.trees.heap import Tree, node
+
+
+def _built(tree):
+    number_cyclic(tree)
+    compute_routing(tree)
+    return tree
+
+
+class TestNumbering:
+    @given(st.integers(1, 20), st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation(self, n, seed):
+        t = _built(random_tree(n, seed=seed))
+        nums = sorted(x.get("num") for x in t.nodes())
+        assert nums == list(range(t.size))
+
+    def test_root_is_zero(self):
+        t = _built(full_tree(3))
+        assert t.root.get("num") == 0
+
+    def test_single_node(self):
+        t = _built(Tree(node()))
+        assert t.root.get("num") == 0
+
+    def test_chain(self):
+        t = _built(left_chain(5))
+        nums = [t.node_at("l" * i).get("num") for i in range(5)]
+        assert sorted(nums) == list(range(5))
+
+
+class TestRoutingIntervals:
+    @given(st.integers(1, 15), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_intervals_bound_subtrees(self, n, seed):
+        t = _built(random_tree(n, seed=seed))
+        for x in t.nodes():
+            nums = [
+                y.get("num") for y in t.nodes() if y.path.startswith(x.path)
+            ]
+            assert x.get("min") == min(nums)
+            assert x.get("max") == max(nums)
+
+    def test_leaf_intervals_self(self):
+        t = _built(Tree(node()))
+        r = t.root
+        assert r.get("lmin") == r.get("lmax") == r.get("num")
+        assert r.get("min") == r.get("max") == r.get("num")
+
+
+class TestRouting:
+    @given(st.integers(2, 14), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_routes_arrive(self, n, seed):
+        t = _built(random_tree(n, seed=seed))
+        router = CycletreeRouter(t)
+        for s in range(0, t.size, 2):
+            for d in range(t.size - 1, -1, -3):
+                steps = router.route(s, d)
+                assert steps[-1].direction == "arrived"
+                assert steps[-1].node == router.node_of(d)
+
+    def test_route_to_self(self):
+        t = _built(full_tree(2))
+        router = CycletreeRouter(t)
+        steps = router.route(1, 1)
+        assert len(steps) == 1 and steps[0].direction == "arrived"
+
+    def test_hops_bounded_by_tree_size(self):
+        t = _built(full_tree(4))
+        router = CycletreeRouter(t)
+        for s, d in ((0, 14), (7, 3), (12, 12)):
+            assert len(router.route(s, d)) <= 2 * t.size
+
+
+class TestCycle:
+    def test_cycle_order_sorted(self):
+        t = _built(full_tree(3))
+        order = cycle_order(t)
+        assert [n.get("num") for n in order] == list(range(t.size))
+
+    def test_cycle_edges_close(self):
+        t = _built(full_tree(2))
+        edges = cycle_edges(t)
+        assert len(edges) == t.size
+        assert edges[-1][1] == t.root.path  # closes back to num 0
+
+    @given(st.integers(1, 15), st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_few_non_tree_edges(self, n, seed):
+        """Cycletrees complement the tree with a bounded number of extra
+        edges (Veanes & Barklund's economy property)."""
+        t = _built(random_tree(n, seed=seed))
+        assert is_hamiltonian_cycle(t)
+
+    def test_empty_tree(self):
+        from repro.trees.heap import nil
+
+        t = Tree(nil())
+        assert cycle_edges(t) == [] and is_hamiltonian_cycle(t)

@@ -1,0 +1,103 @@
+"""Tests for expression evaluation, substitution and analysis helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.exprs import (
+    aexpr_field_reads,
+    aexpr_vars,
+    bexpr_field_reads,
+    bexpr_vars,
+    eval_aexpr,
+    eval_bexpr,
+    subst_aexpr,
+    subst_bexpr,
+)
+from repro.lang.parser import parse_expr
+
+
+def _no_fields(loc, name):
+    raise AssertionError("no field reads expected")
+
+
+class TestEval:
+    def test_arith(self):
+        e = parse_expr("1 + 2 - 3 + x")
+        assert eval_aexpr(e, {"x": 10}, _no_fields) == 10
+
+    def test_neg(self):
+        assert eval_aexpr(parse_expr("-x"), {"x": 4}, _no_fields) == -4
+
+    def test_max_min(self):
+        e = parse_expr("max(a, b, 0) - min(a, b, 0)")
+        assert eval_aexpr(e, {"a": 3, "b": -2}, _no_fields) == 5
+
+    def test_field_read_callback(self):
+        e = parse_expr("n.l.v + 1")
+        val = eval_aexpr(e, {}, lambda loc, f: 41 if (loc.directions(), f) == ("l", "v") else 0)
+        assert val == 42
+
+    def test_unbound_var_raises(self):
+        from repro.lang.exprs import SymbolicValueError
+
+        with pytest.raises(SymbolicValueError):
+            eval_aexpr(parse_expr("x"), {}, _no_fields)
+
+    def test_bexpr_ops(self):
+        b = A.BAnd(A.Gt(A.Var("x")), A.Not(A.Eq0(A.Var("y"))))
+        assert eval_bexpr(b, {"x": 1, "y": 2}, _no_fields, lambda l: False)
+        assert not eval_bexpr(b, {"x": 1, "y": 0}, _no_fields, lambda l: False)
+
+    def test_bexpr_nil(self):
+        b = A.IsNil(A.LocField(A.LocVar(), "l"))
+        assert eval_bexpr(b, {}, _no_fields, lambda loc: loc.directions() == "l")
+
+
+class TestAnalysis:
+    def test_vars(self):
+        assert aexpr_vars(parse_expr("a + b - a + max(c, 1)")) == {"a", "b", "c"}
+
+    def test_field_reads(self):
+        e = parse_expr("n.v + n.l.w - n.l.w")
+        assert aexpr_field_reads(e) == {("", "v"), ("l", "w")}
+
+    def test_bexpr_vars(self):
+        b = A.BOr(A.Gt(A.Var("x")), A.Eq0(A.Sub(A.Var("y"), A.Var("z"))))
+        assert bexpr_vars(b) == {"x", "y", "z"}
+
+    def test_bexpr_field_reads_through_not(self):
+        b = A.Not(A.Gt(A.FieldRead(A.LocVar(), "f")))
+        assert bexpr_field_reads(b) == {("", "f")}
+
+
+class TestSubstitution:
+    def test_var_subst(self):
+        e = subst_aexpr(parse_expr("x + y"), {"x": A.Const(5)})
+        assert eval_aexpr(e, {"y": 1}, _no_fields) == 6
+
+    def test_field_subst(self):
+        e = subst_aexpr(parse_expr("n.v + 1"), {("", "v"): A.Var("g")})
+        assert aexpr_vars(e) == {"g"}
+
+    def test_subst_in_max(self):
+        e = subst_aexpr(parse_expr("max(x, 0)"), {"x": A.Const(-3)})
+        assert eval_aexpr(e, {}, _no_fields) == 0
+
+    def test_bexpr_subst(self):
+        b = subst_bexpr(A.Gt(A.Var("x")), {"x": A.Const(1)})
+        assert eval_bexpr(b, {}, _no_fields, lambda l: False)
+
+    @given(
+        st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subst_then_eval_commutes(self, a, b, c):
+        """eval(e[x:=v]) == eval with x bound to eval(v)."""
+        e = parse_expr("x + y - max(x, y, z)")
+        sub = {"x": A.Add(A.Var("y"), A.Const(c))}
+        env = {"y": a, "z": b}
+        lhs = eval_aexpr(subst_aexpr(e, sub), env, _no_fields)
+        rhs = eval_aexpr(e, {**env, "x": a + c}, _no_fields)
+        assert lhs == rhs

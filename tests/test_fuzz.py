@@ -1,0 +1,145 @@
+"""Property-based fuzzing over randomly generated Retreet programs.
+
+A hypothesis strategy builds random *valid* programs (descending recursion,
+guarded dereferences, consistent arities); every pipeline stage must handle
+them: print/parse round-trip, validation, block relations, interpretation,
+configuration enumeration, and the bounded race checker.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounded import check_data_race_bounded, default_scope
+from repro.core.configurations import ProgramModel, enumerate_configurations
+from repro.interp import run
+from repro.lang import BlockTable, parse_program, program_source, validate
+from repro.trees.generators import all_shapes, random_tree
+
+FIELDS = ["a", "b", "c"]
+FUNCS = ["F0", "F1", "F2"]
+
+
+@st.composite
+def aexprs(draw, depth=2):
+    kind = draw(st.sampled_from(
+        ["const", "field", "selffield"] + (["add", "sub"] if depth else [])
+    ))
+    if kind == "const":
+        return str(draw(st.integers(-3, 9)))
+    if kind == "field":
+        return f"n.{draw(st.sampled_from(FIELDS))}"
+    if kind == "selffield":
+        return f"n.{draw(st.sampled_from(FIELDS))}"
+    op = "+" if kind == "add" else "-"
+    return (
+        f"({draw(aexprs(depth=depth - 1))} {op} {draw(aexprs(depth=depth - 1))})"
+    )
+
+
+@st.composite
+def bodies(draw, fname, n_funcs):
+    """The else-branch of a function: calls on children + field updates."""
+    lines = []
+    callees = draw(
+        st.lists(st.integers(0, n_funcs - 1), min_size=0, max_size=2)
+    )
+    for i, c in enumerate(callees):
+        d = draw(st.sampled_from(["l", "r"]))
+        lines.append(f"v{i} = F{c}(n.{d});")
+    n_updates = draw(st.integers(0, 2))
+    for _ in range(n_updates):
+        f = draw(st.sampled_from(FIELDS))
+        if draw(st.booleans()):
+            lines.append(f"n.{f} = {draw(aexprs())};")
+        else:
+            g = draw(st.sampled_from(FIELDS))
+            lines.append(
+                f"if (n.{g} > {draw(st.integers(0, 3))}) "
+                f"{{ n.{f} = {draw(aexprs())} }};"
+            )
+    lines.append(f"return {draw(aexprs())}")
+    return "\n    ".join(lines)
+
+
+@st.composite
+def programs(draw):
+    n_funcs = draw(st.integers(1, 3))
+    chunks = []
+    for i in range(n_funcs):
+        body = draw(bodies(f"F{i}", n_funcs))
+        chunks.append(
+            f"F{i}(n) {{\n  if (n == nil) {{ return 0 }}\n"
+            f"  else {{\n    {body}\n  }}\n}}"
+        )
+    # Main: sequential or parallel composition of 1-2 root calls.
+    calls = draw(st.lists(st.integers(0, n_funcs - 1), min_size=1, max_size=2))
+    if len(calls) == 2 and draw(st.booleans()):
+        main = (
+            "Main(n) {\n  { "
+            + f"x0 = F{calls[0]}(n) || x1 = F{calls[1]}(n)"
+            + " };\n  return x0\n}"
+        )
+    else:
+        body = ";\n  ".join(
+            f"x{i} = F{c}(n)" for i, c in enumerate(calls)
+        )
+        main = f"Main(n) {{\n  {body};\n  return x0\n}}"
+    chunks.append(main)
+    return "\n".join(chunks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_round_trip_and_validate(src):
+    p = parse_program(src, name="fuzz")
+    validate(p)
+    printed = program_source(p)
+    p2 = parse_program(printed, name="fuzz")
+    assert program_source(p2) == printed
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs(), st.integers(0, 10), st.integers(0, 99))
+def test_interpreter_total(src, n_nodes, seed):
+    """Every generated program runs to completion on every tree."""
+    p = parse_program(src, name="fuzz")
+    t = random_tree(n_nodes, seed=seed, field_names=FIELDS, value_range=(0, 6))
+    r = run(p, t)
+    assert isinstance(r.returns, tuple)
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_configurations_cover_iterations(src):
+    """Every concrete iteration appears as a configuration endpoint —
+    the over-approximation direction of the abstraction (Def. 2)."""
+    p = parse_program(src, name="fuzz")
+    model = ProgramModel(p)
+    for t in all_shapes(2):
+        endpoints = {
+            (c.last_sid, c.last_node)
+            for c in enumerate_configurations(model, t)
+        }
+        trace = run(p, t).trace.iteration_pairs()
+        for it in trace:
+            assert it in endpoints, (src, it)
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs())
+def test_bounded_race_checker_sound_on_fuzz(src):
+    """If the bounded checker says race-free, the dynamic happens-before
+    detector must find no race on any in-scope tree."""
+    from repro.interp import program_races_on
+
+    p = parse_program(src, name="fuzz")
+    scope = default_scope(2)
+    verdict = check_data_race_bounded(p, scope)
+    if verdict.holds:
+        for t in scope:
+            work = t.clone()
+            for node in work.nodes():
+                for i, f in enumerate(FIELDS):
+                    node.set(f, (len(node.path) + i) % 5)
+            assert program_races_on(p, work) == [], (src, t.paths(True))

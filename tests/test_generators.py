@@ -1,0 +1,92 @@
+"""Tests for tree generators (determinism, exhaustiveness)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.generators import (
+    all_shapes,
+    assign_fields,
+    full_tree,
+    left_chain,
+    random_tree,
+    right_chain,
+    zigzag,
+)
+from repro.trees.heap import tree_to_tuple
+
+CATALAN = [1, 1, 2, 5, 14, 42]
+
+
+class TestShapes:
+    def test_catalan_counts(self):
+        for n, c in enumerate(CATALAN):
+            assert sum(1 for _ in all_shapes(n)) == c
+
+    def test_all_shapes_distinct(self):
+        shapes = [tree_to_tuple(t) for t in all_shapes(4)]
+        assert len(set(map(str, shapes))) == 14
+
+    def test_all_shapes_sizes(self):
+        for t in all_shapes(3):
+            assert t.size == 3
+
+
+class TestDeterministicGenerators:
+    def test_full_tree_size(self):
+        assert full_tree(0).size == 0
+        assert full_tree(1).size == 1
+        assert full_tree(4).size == 15
+
+    def test_full_tree_height(self):
+        assert full_tree(3).height == 3
+
+    def test_left_chain(self):
+        t = left_chain(5)
+        assert t.size == 5 and t.height == 5
+        assert "lllll" in t  # the deepest nil
+
+    def test_right_chain(self):
+        t = right_chain(4)
+        assert "rrrr" in t and t.size == 4
+
+    def test_zigzag(self):
+        t = zigzag(4)
+        assert t.size == 4
+
+    def test_fields_kwargs(self):
+        t = full_tree(2, v=7)
+        assert all(n.get("v") == 7 for n in t.nodes())
+
+
+class TestRandomTree:
+    @given(st.integers(0, 12), st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_size_exact(self, n, seed):
+        assert random_tree(n, seed=seed).size == n
+
+    def test_seed_determinism(self):
+        a = random_tree(10, seed=5, field_names=("v",))
+        b = random_tree(10, seed=5, field_names=("v",))
+        assert tree_to_tuple(a) == tree_to_tuple(b)
+
+    def test_different_seeds_differ(self):
+        shapes = {
+            str(tree_to_tuple(random_tree(8, seed=s))) for s in range(12)
+        }
+        assert len(shapes) > 1
+
+    def test_value_range(self):
+        t = random_tree(10, seed=1, field_names=("v",), value_range=(2, 4))
+        assert all(2 <= n.get("v") <= 4 for n in t.nodes())
+
+
+class TestAssignFields:
+    def test_assign_deterministic(self):
+        a = assign_fields(full_tree(3), ["v"], seed=9)
+        b = assign_fields(full_tree(3), ["v"], seed=9)
+        assert tree_to_tuple(a) == tree_to_tuple(b)
+
+    def test_assign_by_function(self):
+        t = assign_fields(full_tree(2), [], fn=lambda p: {"d": len(p)})
+        assert t.node_at("l").get("d") == 1
+        assert t.node_at("").get("d") == 0

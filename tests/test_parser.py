@@ -1,0 +1,237 @@
+"""Tests for the lexer, parser, printer and normalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse_expr, parse_program
+from repro.lang.printer import block_key, program_source
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("if return nil foo max")
+        assert [t.kind for t in toks[:-1]] == ["kw", "kw", "kw", "id", "kw"]
+
+    def test_maximal_munch(self):
+        toks = tokenize("a || b && c == d != e >= f <= g")
+        syms = [t.text for t in toks if t.kind == "sym"]
+        assert syms == ["||", "&&", "==", "!=", ">=", "<="]
+
+    def test_comments(self):
+        toks = tokenize("a // comment ; {\nb # another\nc")
+        assert [t.text for t in toks if t.kind == "id"] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb")
+        assert toks[0].line == 1 and toks[1].line == 2
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestExprParsing:
+    def test_precedence_left_assoc(self):
+        e = parse_expr("1 - 2 - 3")
+        assert isinstance(e, A.Sub) and isinstance(e.left, A.Sub)
+
+    def test_parens(self):
+        e = parse_expr("1 - (2 - 3)")
+        assert isinstance(e.right, A.Sub)
+
+    def test_max_min(self):
+        e = parse_expr("max(a, b, 3)")
+        assert isinstance(e, A.Max) and len(e.args) == 3
+
+    def test_unary_minus(self):
+        assert isinstance(parse_expr("-x"), A.Neg)
+
+    def test_field_read(self):
+        e = parse_expr("n.l.v")
+        assert isinstance(e, A.FieldRead)
+        assert e.loc.directions() == "l" and e.fieldname == "v"
+
+    def test_deep_field_read(self):
+        e = parse_expr("n.l.r.w")
+        assert e.loc.directions() == "lr"
+
+
+SIZECOUNT = """
+Odd(n) {
+  if (n == nil) { return 0 }
+  else { ls = Even(n.l); rs = Even(n.r); return ls + rs + 1 }
+}
+Even(n) {
+  if (n == nil) { return 0 }
+  else { ls = Odd(n.l); rs = Odd(n.r); return ls + rs }
+}
+Main(n) {
+  { o = Odd(n) || e = Even(n) };
+  return o, e
+}
+"""
+
+
+class TestProgramParsing:
+    def test_function_count(self):
+        p = parse_program(SIZECOUNT)
+        assert set(p.funcs) == {"Odd", "Even", "Main"}
+
+    def test_entry_default(self):
+        p = parse_program(SIZECOUNT)
+        assert p.entry == "Main"
+
+    def test_entry_fallback_first_function(self):
+        p = parse_program("F(n) { return 0 }")
+        assert p.entry == "F"
+
+    def test_parallel_parsed(self):
+        p = parse_program(SIZECOUNT)
+        body = p.funcs["Main"].body
+        assert isinstance(body, A.Seq)
+        assert isinstance(body.stmts[0], A.Par)
+
+    def test_return_arity_inferred(self):
+        p = parse_program(SIZECOUNT)
+        assert p.funcs["Main"].n_returns == 2
+        assert p.funcs["Odd"].n_returns == 1
+
+    def test_inconsistent_return_arity(self):
+        with pytest.raises(ParseError):
+            parse_program("F(n) { if (n == nil) { return 0 } else { return 0, 1 } }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(ParseError):
+            parse_program("F(n) { return 0 }\nF(n) { return 1 }")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_mutation_rejected(self):
+        with pytest.raises(ParseError, match="mutation"):
+            parse_program("F(n) { n.l = n.r; return 0 }")
+
+    def test_int_params(self):
+        p = parse_program("F(n, k, j) { return k + j }")
+        assert p.funcs["F"].int_params == ("k", "j")
+
+    def test_tuple_targets(self):
+        p = parse_program("F(n) { return 0, 1 }\nMain(n) { a, b = F(n); return a }")
+        call = p.funcs["Main"].body.stmts[0]
+        assert isinstance(call, A.CallStmt) and call.targets == ("a", "b")
+
+    def test_parenthesized_targets(self):
+        p = parse_program("F(n) { return 0, 1 }\nMain(n) { (a, b) = F(n); return a }")
+        call = p.funcs["Main"].body.stmts[0]
+        assert call.targets == ("a", "b")
+
+    def test_multi_assign_sugar(self):
+        p = parse_program("F(n) { a, b = 1, 2; return a + b }")
+        blk = p.funcs["F"].body
+        assert isinstance(blk, A.AssignBlock)
+        assert len(blk.assigns) == 3  # a=1; b=2; return
+
+    def test_multi_assign_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("F(n) { a, b = 1; return a }")
+
+    def test_nil_comparisons(self):
+        p = parse_program("F(n) { if (n.l != nil) { return 1 } else { return 0 } }")
+        cond = p.funcs["F"].body.cond
+        assert isinstance(cond, A.Not) and isinstance(cond.expr, A.IsNil)
+
+    def test_comparison_sugar(self):
+        p = parse_program("F(n, k) { if (k < 3) { return 0 } else { return 1 } }")
+        cond = p.funcs["F"].body.cond
+        assert isinstance(cond, A.Gt)  # k < 3 -> 3 - k > 0
+
+    def test_geq_sugar(self):
+        p = parse_program("F(n, k) { if (k >= 3) { return 0 } else { return 1 } }")
+        assert isinstance(p.funcs["F"].body.cond, A.Not)
+
+    def test_else_if_chain(self):
+        p = parse_program(
+            "F(n, k) { if (k > 0) { return 1 } else if (k < 0) { return 2 } "
+            "else { return 0 } }"
+        )
+        f = p.funcs["F"]
+        assert isinstance(f.body.els, A.If)
+
+    def test_boolean_connectives(self):
+        p = parse_program(
+            "F(n, k) { if (k > 0 && k < 9 || k == 5) { return 1 } "
+            "else { return 0 } }"
+        )
+        assert isinstance(p.funcs["F"].body.cond, A.BOr)
+
+
+class TestNormalization:
+    def test_adjacent_assigns_coalesce(self):
+        p = parse_program("F(n) { a = 1; b = 2; n.v = a + b; return 0 }")
+        body = p.funcs["F"].body
+        assert isinstance(body, A.AssignBlock)
+        assert len(body.assigns) == 4
+
+    def test_call_splits_blocks(self):
+        p = parse_program(
+            "G(n) { return 0 }\n"
+            "F(n) { a = 1; x = G(n.l); b = 2; return b }"
+        )
+        body = p.funcs["F"].body
+        assert isinstance(body, A.Seq) and len(body.stmts) == 3
+
+    def test_if_splits_blocks(self):
+        p = parse_program(
+            "F(n) { a = 1; if (a > 0) { n.v = 1 }; b = 2; return b }"
+        )
+        body = p.funcs["F"].body
+        kinds = [type(s).__name__ for s in body.stmts]
+        assert kinds == ["AssignBlock", "If", "AssignBlock"]
+
+
+class TestRoundTrip:
+    def test_sizecount_round_trip(self):
+        p = parse_program(SIZECOUNT)
+        src = program_source(p)
+        p2 = parse_program(src)
+        assert program_source(p2) == src
+
+    @pytest.mark.parametrize(
+        "mod", ["sizecount", "treemutation", "css", "cycletree"]
+    )
+    def test_case_studies_round_trip(self, mod):
+        import importlib
+
+        m = importlib.import_module(f"repro.casestudies.{mod}")
+        progs = []
+        for name in dir(m):
+            if name.endswith("_program") or name.startswith("fused"):
+                fn = getattr(m, name)
+                if callable(fn):
+                    try:
+                        progs.append(fn())
+                    except TypeError:
+                        pass
+        assert progs
+        for p in progs:
+            src = program_source(p)
+            assert program_source(parse_program(src, entry=p.entry)) == src
+
+
+class TestBlockKey:
+    def test_same_code_same_key(self):
+        p1 = parse_program("F(n) { return 0 }")
+        p2 = parse_program("G(n) { return 0 }")
+        assert block_key(p1.funcs["F"].body) == block_key(p2.funcs["G"].body)
+
+    def test_different_code_different_key(self):
+        p1 = parse_program("F(n) { return 0 }")
+        p2 = parse_program("F(n) { return 1 }")
+        assert block_key(p1.funcs["F"].body) != block_key(p2.funcs["F"].body)

@@ -1,0 +1,191 @@
+"""Tests for speculative execution, transition cases and conditions."""
+
+import pytest
+
+from repro.arith import check_sat
+from repro.core.conditions import ConditionUniverse
+from repro.core.pathcond import (
+    ArithPin,
+    MixedConditionError,
+    StructPin,
+    SymState,
+    cond_is_structural,
+    struct_pin_of,
+    transition_cases,
+)
+from repro.lang import BlockTable, parse_program
+from repro.lang import ast as A
+
+
+class TestCondClassification:
+    def test_structural(self):
+        assert cond_is_structural(A.IsNil(A.LocVar())) is True
+
+    def test_arith(self):
+        assert cond_is_structural(A.Gt(A.Var("k"))) is False
+
+    def test_negated_structural(self):
+        assert cond_is_structural(A.Not(A.IsNil(A.LocVar()))) is True
+
+    def test_mixed_is_none(self):
+        mixed = A.BAnd(A.IsNil(A.LocVar()), A.Gt(A.Var("k")))
+        assert cond_is_structural(mixed) is None
+
+    def test_true_counts_arith(self):
+        assert cond_is_structural(A.BTrue()) is False
+
+
+class TestStructPins:
+    def test_positive(self):
+        pins = struct_pin_of(A.IsNil(A.LocField(A.LocVar(), "l")), True)
+        assert pins == [[StructPin("l", True)]]
+
+    def test_negated(self):
+        pins = struct_pin_of(A.Not(A.IsNil(A.LocVar())), True)
+        assert pins == [[StructPin("", False)]]
+
+    def test_conjunction(self):
+        c = A.BAnd(A.IsNil(A.LocField(A.LocVar(), "l")),
+                    A.IsNil(A.LocField(A.LocVar(), "r")))
+        pins = struct_pin_of(c, True)
+        assert len(pins) == 1 and len(pins[0]) == 2
+
+    def test_disjunction_splits(self):
+        c = A.BOr(A.IsNil(A.LocField(A.LocVar(), "l")),
+                   A.IsNil(A.LocField(A.LocVar(), "r")))
+        assert len(struct_pin_of(c, True)) == 2
+
+
+class TestSymState:
+    def test_param_naming(self):
+        st = SymState("F", ("k",))
+        (term, side), = st.eval(A.Var("k"))
+        assert term.variables == ("F::k",) and side == []
+
+    def test_ghost_after_call(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        st = SymState("Odd", ())
+        st.exec_block(t.block("s1"))  # ls = Even(n.l)
+        (term, _), = st.eval(A.Var("ls"))
+        assert term.variables == ("Odd::s1::0",)
+
+    def test_field_read_fresh(self):
+        st = SymState("F", ())
+        (term, _), = st.eval(A.FieldRead(A.LocVar(), "v"))
+        assert term.variables == ("@field::::v",)
+
+    def test_field_write_then_read(self):
+        st = SymState("F", ("k",))
+        p = parse_program("F(n, k) { n.v = k + 1; return n.v }")
+        t = BlockTable(p)
+        st.exec_block(t.blocks[0])
+        (term, _), = st.eval(A.FieldRead(A.LocVar(), "v"))
+        assert term.coeff("F::k") == 1 and term.const == 1
+
+    def test_max_splits_cases(self):
+        st = SymState("F", ("a", "b"))
+        cases = st.eval(A.Max((A.Var("a"), A.Var("b"))))
+        assert len(cases) == 2
+
+
+class TestTransitionCases:
+    def test_sizecount_call_case(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        cases = transition_cases(t, "Odd", t.block("s1"))
+        assert len(cases) == 1
+        c = cases[0]
+        assert c.direction == "l"
+        assert c.struct_pins == (StructPin("", False),)
+        assert c.arith_pins == ()
+
+    def test_sizecount_nil_case(self, sizecount_par):
+        t = BlockTable(sizecount_par)
+        cases = transition_cases(t, "Odd", t.block("s0"))
+        assert cases[0].struct_pins == (StructPin("", True),)
+
+    def test_bindings(self, cycletree_seq):
+        t = BlockTable(cycletree_seq)
+        # s2: a = PreMode(n.l, number + 1) inside RootMode.
+        cases = transition_cases(t, "RootMode", t.block("s2"))
+        (case,) = cases
+        (term, _), = case.bindings["number"]
+        assert term.coeff("RootMode::number") == 1 and term.const == 1
+
+    def test_arith_pin(self, treemutation_orig):
+        t = BlockTable(treemutation_orig)
+        cases = transition_cases(t, "IncrmLeft", t.block("s7"))
+        (case,) = cases
+        assert ArithPin("c2", True) in case.arith_pins
+        assert StructPin("r", True) in case.struct_pins
+
+    def test_contradictory_struct_path_dropped(self):
+        p = parse_program(
+            "F(n) { if (n == nil) { if (n != nil) { n.v = 1 } "
+            "else { return 0 } } else { return 1 } }"
+        )
+        t = BlockTable(p)
+        dead = [b for b in t.all_noncalls if "n.v" in str(b.stmt)][0]
+        assert transition_cases(t, "F", dead) == []
+
+    def test_routing_guard_cases(self, cycletree_seq):
+        t = BlockTable(cycletree_seq)
+        # The min/max+return block of ComputeRouting is reached along 4
+        # paths (l nil?, r nil?).
+        cases = transition_cases(t, "ComputeRouting", t.block("s26"))
+        assert len(cases) == 4
+        shapes = {c.struct_pins for c in cases}
+        assert len(shapes) == 4
+
+
+class TestConditionUniverse:
+    def test_sizecount_all_structural(self, sizecount_par):
+        u = ConditionUniverse(BlockTable(sizecount_par))
+        assert u.arith_conds == []
+        assert len(u.struct_conds) == 2
+        assert u.consistent_sets == [frozenset()]
+
+    def test_css_independent_conditions(self, css_orig):
+        u = ConditionUniverse(BlockTable(css_orig))
+        cids = [c.cid for c in u.arith_conds]
+        assert len(cids) == 3
+        # All 8 truth assignments are consistent (distinct fields).
+        assert len(u.consistent_sets) == 8
+
+    def test_contradictory_conditions_pruned(self):
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else {"
+            " if (n.v > 0) { n.a = 1 }; if (n.v < 0) { n.b = 1 }; return 0 } }"
+        )
+        u = ConditionUniverse(BlockTable(p))
+        assert len(u.arith_conds) == 2
+        # v>0 and v<0 cannot both hold: 3 of 4 assignments survive.
+        assert len(u.consistent_sets) == 3
+
+    def test_equal_conditions_locked_together(self):
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else {"
+            " if (n.v > 0) { n.a = 1 }; if (n.v > 0) { n.b = 1 }; return 0 } }"
+        )
+        u = ConditionUniverse(BlockTable(p))
+        # Identical conditions: only TT and FF are consistent.
+        assert len(u.consistent_sets) == 2
+
+    def test_compatible(self, css_orig):
+        u = ConditionUniverse(BlockTable(css_orig))
+        cid = u.arith_conds[0].cid
+        assert u.compatible({cid: True})
+        assert u.compatible({})
+
+    def test_completions_extend_pins(self, css_orig):
+        u = ConditionUniverse(BlockTable(css_orig))
+        cid = u.arith_conds[0].cid
+        comps = u.completions({cid: True})
+        assert len(comps) == 4
+        assert all(dict(c)[cid] is True for c in comps)
+
+    def test_mixed_condition_raises(self):
+        p = parse_program(
+            "F(n, k) { if (n == nil && k > 0) { return 0 } else { return 1 } }"
+        )
+        with pytest.raises(MixedConditionError):
+            ConditionUniverse(BlockTable(p))

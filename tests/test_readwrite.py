@@ -1,0 +1,144 @@
+"""Tests for the read/write (access-set) analysis."""
+
+import pytest
+
+from repro.core.readwrite import Cell, ReadWriteAnalysis
+from repro.lang import BlockTable, parse_program
+
+
+def _rw(program):
+    table = BlockTable(program)
+    return table, ReadWriteAnalysis(table)
+
+
+class TestCells:
+    def test_absolute(self):
+        c = Cell("field", "lr", "v")
+        assert c.absolute("l") == ("field", "llr", "v")
+
+    def test_str(self):
+        assert "field" in str(Cell("field", "", "v"))
+
+
+class TestFieldAccesses:
+    def test_write_and_read_fields(self):
+        t, rw = _rw(
+            parse_program(
+                "F(n) { if (n == nil) { return 0 } else "
+                "{ n.v = n.l.w + 1; return 0 } }"
+            )
+        )
+        b = [x for x in t.all_noncalls if "n.v" in str(x.stmt)][0]
+        acc = rw.access(b)
+        assert Cell("field", "", "v") in acc.writes
+        assert Cell("field", "l", "w") in acc.reads
+
+    def test_guard_reads_included(self, treemutation_orig):
+        t, rw = _rw(treemutation_orig)
+        # `n.v = 1` under `if (n.lr > 0)` reads field lr via the guard.
+        b = t.block("s7")
+        assert Cell("field", "", "lr") in rw.access(b).reads
+
+    def test_guard_reads_excluded_when_off(self, treemutation_orig):
+        t = BlockTable(treemutation_orig)
+        rw = ReadWriteAnalysis(t, include_guard_reads=False)
+        b = t.block("s7")
+        assert Cell("field", "", "lr") not in rw.access(b).reads
+
+
+class TestReturnCells:
+    def test_return_block_writes_ret_cell(self, sizecount_seq):
+        t, rw = _rw(sizecount_seq)
+        # s3 (Odd's return) writes ret:Odd::0 at its own node.
+        acc = rw.access(t.block("s3"))
+        assert Cell("ret", "", "Odd::0") in acc.writes
+
+    def test_call_bound_var_reads_child_ret(self, sizecount_seq):
+        t, rw = _rw(sizecount_seq)
+        # s3 reads ls/rs, defined by calls to Even on n.l / n.r.
+        acc = rw.access(t.block("s3"))
+        assert Cell("ret", "l", "Even::0") in acc.reads
+        assert Cell("ret", "r", "Even::0") in acc.reads
+
+    def test_uninitialized_var_is_local(self, sizecount_fused_bad):
+        t, rw = _rw(sizecount_fused_bad)
+        # s1 computes from lo/le/ro/re BEFORE the calls: plain local vars.
+        acc = rw.access(t.block("s1"))
+        assert Cell("var", "", "Fused::lo") in acc.reads
+
+    def test_multi_return_indices(self, sizecount_fused):
+        t, rw = _rw(sizecount_fused)
+        acc = rw.access(t.block("s3"))
+        assert Cell("ret", "", "Fused::0") in acc.writes
+        assert Cell("ret", "", "Fused::1") in acc.writes
+
+
+class TestReachingDefs:
+    def test_assignment_then_read_is_var_cell(self):
+        t, rw = _rw(
+            parse_program("F(n) { a = 1; n.v = a; return 0 }")
+        )
+        b = t.all_noncalls[0]
+        acc = rw.access(b)
+        assert Cell("var", "", "F::a") in acc.reads
+
+    def test_param_read_is_var_cell(self, cycletree_seq):
+        t, rw = _rw(cycletree_seq)
+        b = t.block("s1")  # RootMode: n.num = number
+        assert Cell("var", "", "RootMode::number") in rw.access(b).reads
+
+    def test_branch_merges_definitions(self):
+        t, rw = _rw(
+            parse_program(
+                "G(n) { return 5 }\n"
+                "F(n, k) { if (k > 0) { a = 1 } else { a = G(n.l) }; "
+                "return a }"
+            )
+        )
+        ret = [b for b in t.all_noncalls if "return a" in str(b.stmt)][0]
+        acc = rw.access(ret)
+        assert Cell("var", "", "F::a") in acc.reads
+        assert Cell("ret", "l", "G::0") in acc.reads
+
+
+class TestConflictOffsets:
+    def test_child_parent_field_dep(self, treemutation_orig):
+        t, rw = _rw(treemutation_orig)
+        # s8 (n.v = n.r.v + 1) conflicts with itself: write v@self vs
+        # read v@r -> offsets ('', 'r') and ('r', '').
+        b = t.block("s8")
+        offs = rw.conflict_offsets(b, b)
+        pairs = {(d1, d2) for d1, d2, k, nm in offs if nm == "v"}
+        assert ("", "r") in pairs and ("r", "") in pairs
+
+    def test_ret_cell_dep(self, sizecount_seq):
+        t, rw = _rw(sizecount_seq)
+        offs = rw.conflict_offsets(t.block("s7"), t.block("s3"))
+        kinds = {(k, nm) for _, _, k, nm in offs}
+        assert ("ret", "Even::0") in kinds
+
+    def test_no_conflict_disjoint_fields(self):
+        t, rw = _rw(
+            parse_program(
+                "F(n) { if (n == nil) { return 0 } else "
+                "{ n.a = 1; return 0 } }\n"
+                "G(n) { if (n == nil) { return 0 } else "
+                "{ n.b = 2; return 0 } }\n"
+                "Main(n) { x = F(n); y = G(n); return 0 }"
+            )
+        )
+        fa = [b for b in t.all_noncalls if "n.a" in str(b.stmt)][0]
+        gb = [b for b in t.all_noncalls if "n.b" in str(b.stmt)][0]
+        assert not [
+            o for o in rw.conflict_offsets(fa, gb) if o[2] == "field"
+        ]
+
+    def test_var_cells_scoped_by_function(self, sizecount_seq):
+        t, rw = _rw(sizecount_seq)
+        # Odd::ls and Even::ls must not alias... both resolve to ret cells
+        # here, but their *names* embed the defining call's function.
+        a3 = rw.access(t.block("s3"))
+        a7 = rw.access(t.block("s7"))
+        read_names_3 = {c.name for c in a3.reads}
+        read_names_7 = {c.name for c in a7.reads}
+        assert "Even::0" in read_names_3 and "Odd::0" in read_names_7

@@ -1,0 +1,98 @@
+"""Soundness of the schedule abstraction against real executions.
+
+The heart of the paper's theory: if the configuration analysis says two
+iterations are *Ordered*, then they occur in that order in **every**
+interleaving of the concrete program; if *Parallel*, both orders occur in
+some interleavings.  Verified here by exhaustively enumerating schedules on
+small trees and comparing against the bounded engine's relations.
+"""
+
+import pytest
+
+from repro.casestudies import cycletree, sizecount
+from repro.core.configurations import (
+    ProgramModel,
+    enumerate_configurations,
+    ordered,
+    parallel,
+)
+from repro.interp import all_schedules, run
+from repro.trees.heap import Tree, node
+
+
+def _iteration_orders(program, tree, max_schedules=4000):
+    """For every schedule: the position of each iteration (sid, node)."""
+    orders = []
+
+    def one(sch):
+        r = run(program, tree, scheduler=sch, record_events=False)
+        return tuple(r.trace.iteration_pairs())
+
+    for trace in all_schedules(one, max_schedules=max_schedules):
+        orders.append({it: i for i, it in enumerate(trace)})
+    return orders
+
+
+@pytest.mark.parametrize(
+    "case",
+    ["sizecount-par", "sizecount-seq", "cycletree-par"],
+)
+def test_ordered_parallel_sound(case):
+    prog = {
+        "sizecount-par": sizecount.parallel_program,
+        "sizecount-seq": sizecount.sequential_program,
+        "cycletree-par": cycletree.parallel_program,
+    }[case]()
+    tree = Tree(node())
+    model = ProgramModel(prog)
+    configs = enumerate_configurations(model, tree)
+    orders = _iteration_orders(prog, tree)
+    assert orders
+
+    by_endpoint = {}
+    for c in configs:
+        by_endpoint.setdefault((c.last_sid, c.last_node), []).append(c)
+
+    # Consider iterations that actually occur in executions.
+    occurring = set(orders[0])
+    for it in occurring:
+        assert it in by_endpoint, f"iteration {it} has no configuration"
+
+    checked_ordered = checked_parallel = 0
+    items = sorted(occurring)
+    for e1 in items:
+        for e2 in items:
+            if e1 == e2:
+                continue
+            c1s, c2s = by_endpoint[e1], by_endpoint[e2]
+            is_ordered = any(
+                ordered(model, a, b) for a in c1s for b in c2s
+            )
+            is_parallel = any(
+                parallel(model, a, b) for a in c1s for b in c2s
+            )
+            positions = [(o[e1], o[e2]) for o in orders if e1 in o and e2 in o]
+            if not positions:
+                continue
+            if is_ordered and not is_parallel:
+                # Every schedule must respect the order.
+                assert all(p1 < p2 for p1, p2 in positions), (case, e1, e2)
+                checked_ordered += 1
+            if is_parallel:
+                # Both orders must be realizable.
+                assert any(p1 < p2 for p1, p2 in positions), (case, e1, e2)
+                assert any(p2 < p1 for p1, p2 in positions), (case, e1, e2)
+                checked_parallel += 1
+    assert checked_ordered > 0
+    if case.endswith("-par"):
+        assert checked_parallel > 0
+
+
+def test_sequential_program_has_no_parallel_pairs():
+    prog = sizecount.sequential_program()
+    tree = Tree(node())
+    model = ProgramModel(prog)
+    configs = enumerate_configurations(model, tree)
+    for i, a in enumerate(configs):
+        for b in configs[i + 1:]:
+            assert not parallel(model, a, b)

@@ -1,0 +1,136 @@
+"""Tests for formula simplification and miniscoping."""
+
+import pytest
+
+from repro.mso import syntax as S
+from repro.mso.compile import Compiler
+from repro.mso.semantics import evaluate
+from repro.mso.simplify import miniscope, nnf, simplify
+from repro.trees.generators import all_shapes
+
+x, y = "x", "y"
+X = "X"
+
+
+def _equiv(f, g, trees):
+    for t in trees:
+        assert evaluate(f, t) == evaluate(g, t), (str(f), str(g), t.paths(True))
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return [t for n in range(4) for t in all_shapes(n)]
+
+
+class TestFlatten:
+    def test_nested_and(self):
+        f = S.And((S.And((S.Sing(X), S.TrueF())), S.Sing(X)))
+        s = simplify(f)
+        assert str(s) == "sing(X)"
+
+    def test_false_kills_and(self):
+        f = S.And((S.Sing(X), S.FalseF()))
+        assert isinstance(simplify(f), S.FalseF)
+
+    def test_true_kills_or(self):
+        f = S.Or((S.Sing(X), S.TrueF()))
+        assert isinstance(simplify(f), S.TrueF)
+
+    def test_double_negation(self):
+        f = S.Not(S.Not(S.Sing(X)))
+        assert isinstance(simplify(f), S.Sing)
+
+    def test_unused_quantifier_dropped(self):
+        f = S.Exists1((x,), S.Sing(X))
+        assert isinstance(simplify(f), S.Sing)
+
+
+class TestNnf:
+    def test_pushes_through_and(self):
+        f = S.Not(S.And((S.Sing(X), S.Empty(X))))
+        g = nnf(f)
+        assert isinstance(g, S.Or)
+        assert all(isinstance(p, S.Not) for p in g.parts)
+
+    def test_dualizes_quantifiers(self):
+        f = S.Not(S.Forall1((x,), S.IsNilT(S.NodeTerm(x))))
+        g = nnf(f)
+        assert isinstance(g, S.Exists1)
+
+    def test_semantics_preserved(self, trees):
+        f = S.Not(
+            S.Forall1(
+                (x,),
+                S.Or((S.IsNilT(S.NodeTerm(x)), S.Not(S.RootT(S.NodeTerm(x))))),
+            )
+        )
+        _equiv(f, nnf(f), trees)
+
+
+class TestMiniscope:
+    def test_forall_splits_and(self):
+        f = S.Forall1(
+            (x,),
+            S.And(
+                (S.IsNilT(S.NodeTerm(x)), S.Not(S.RootT(S.NodeTerm(x))))
+            ),
+        )
+        g = miniscope(f)
+        assert isinstance(g, S.And)
+        assert all(isinstance(p, S.Forall1) for p in g.parts)
+
+    def test_exists_splits_or(self):
+        f = S.Exists1(
+            (x,),
+            S.Or((S.IsNilT(S.NodeTerm(x)), S.RootT(S.NodeTerm(x)))),
+        )
+        g = miniscope(f)
+        assert isinstance(g, S.Or)
+
+    def test_independent_conjunct_extracted(self):
+        f = S.Exists1((x,), S.And((S.RootT(S.NodeTerm(x)), S.Sing(X))))
+        g = miniscope(f)
+        assert isinstance(g, S.And)
+        # Sing(X) must sit outside the quantifier now.
+        outer = {str(p) for p in g.parts}
+        assert "sing(X)" in outer
+
+    def test_semantics_preserved(self, trees):
+        formulas = [
+            S.Forall1(
+                (x,),
+                S.And(
+                    (
+                        S.Or((S.IsNilT(S.NodeTerm(x)), S.TrueF())),
+                        S.Not(S.And((S.RootT(S.NodeTerm(x)), S.IsNilT(S.NodeTerm(x))))),
+                    )
+                ),
+            ),
+            S.Exists1(
+                (x, y),
+                S.Or(
+                    (
+                        S.Reach(x, y),
+                        S.And((S.RootT(S.NodeTerm(x)), S.RootT(S.NodeTerm(y)))),
+                    )
+                ),
+            ),
+        ]
+        for f in formulas:
+            _equiv(f, simplify(f), trees)
+
+    def test_compiled_equivalence(self, trees):
+        """simplify() must preserve the compiled language too."""
+        f = S.Forall1(
+            (x,),
+            S.And(
+                (
+                    S.Or((S.IsNilT(S.NodeTerm(x)), S.Not(S.IsNilT(S.NodeTerm(x))))),
+                    S.Not(S.And((S.RootT(S.NodeTerm(x)), S.IsNilT(S.NodeTerm(x, "l"))))),
+                )
+            ),
+        )
+        c = Compiler()
+        a1, a2 = c.compile(f), c.compile(simplify(f))
+        for t in trees:
+            assert a1.run(t, {}) == a2.run(t, {})

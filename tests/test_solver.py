@@ -1,0 +1,108 @@
+"""Tests for the MONA-replacement solver front end."""
+
+import pytest
+
+from repro.mso import syntax as S
+from repro.mso.semantics import evaluate
+from repro.solver import MSOSolver
+
+
+class TestSatisfiable:
+    def test_sat_with_witness(self):
+        s = MSOSolver()
+        f = S.Exists1(("x",), S.Not(S.IsNilT(S.NodeTerm("x"))))
+        r = s.satisfiable(f)
+        assert r.is_sat
+        assert r.witness is not None
+        assert r.witness.tree.size >= 1
+
+    def test_unsat(self):
+        s = MSOSolver()
+        f = S.Exists1(("x", "y"), S.And((S.Reach("x", "y"), S.Reach("y", "x"))))
+        r = s.satisfiable(f)
+        assert r.is_unsat and r.witness is None
+
+    def test_witness_labels_decode(self):
+        s = MSOSolver()
+        f = S.And(
+            (S.Sing("X"), S.Exists1(("x",), S.And((
+                S.In(S.NodeTerm("x"), "X"),
+                S.Not(S.RootT(S.NodeTerm("x"))),
+            ))))
+        )
+        r = s.satisfiable(f)
+        assert r.is_sat
+        (node,) = r.witness.labels["X"]
+        assert node != ""
+
+    def test_without_witness(self):
+        s = MSOSolver()
+        r = s.satisfiable(S.TrueF(), want_witness=False)
+        assert r.is_sat and r.witness is None
+
+
+class TestValidity:
+    def test_valid_formula(self):
+        s = MSOSolver()
+        f = S.Forall1(("x", "y"), S.Implies(S.LeftOf("x", "y"), S.Reach("x", "y")))
+        r = s.valid(f)
+        assert r.is_unsat  # negation unsatisfiable == valid
+
+    def test_invalid_formula_gives_counterexample(self):
+        s = MSOSolver()
+        f = S.Forall1(("x",), S.IsNilT(S.NodeTerm("x")))
+        r = s.valid(f)
+        assert r.is_sat  # counterexample: any tree with an internal node
+        assert r.witness.tree.size >= 1
+
+
+class TestConjunction:
+    def test_satisfiable_conj_matches_monolithic(self):
+        s1, s2 = MSOSolver(), MSOSolver()
+        parts = [
+            S.Sing("X"),
+            S.Exists1(("x",), S.In(S.NodeTerm("x"), "X")),
+            S.Not(S.Empty("X")),
+        ]
+        r1 = s1.satisfiable_conj(parts)
+        r2 = s2.satisfiable(S.And(tuple(parts)))
+        assert r1.status == r2.status == "sat"
+
+    def test_exist_fo_projection(self):
+        s = MSOSolver()
+        parts = [S.In(S.NodeTerm("@x"), "X"), S.Sing("X")]
+        r = s.satisfiable_conj(parts, exist_fo=("@x",))
+        assert r.is_sat
+        assert "@x" not in (r.witness.labels or {})
+
+    def test_conj_cache(self):
+        s = MSOSolver()
+        a1 = s.automaton_conj([S.Sing("X")], cache_key="k")
+        a2 = s.automaton_conj([S.Sing("X")], cache_key="k")
+        assert a1 is a2
+
+    def test_empty_conj_short_circuit(self):
+        s = MSOSolver()
+        r = s.satisfiable_conj([S.FalseF(), S.Sing("X")])
+        assert r.is_unsat
+
+
+class TestWitnessSoundness:
+    """Every witness the solver produces must satisfy the formula per the
+    reference semantics."""
+
+    FORMULAS = [
+        S.Exists1(("x", "y"), S.And((S.LeftOf("x", "y"),
+                                     S.Not(S.IsNilT(S.NodeTerm("y")))))),
+        S.And((S.Subset("X", "Y"), S.Sing("X"), S.Not(S.Sing("Y")))),
+        S.Exists1(("x",), S.And((S.IsNilT(S.NodeTerm(x := "x", "ll")),
+                                 S.Not(S.IsNilT(S.NodeTerm(x, "l")))))),
+    ]
+
+    @pytest.mark.parametrize("f", FORMULAS, ids=[str(f)[:40] for f in FORMULAS])
+    def test_witness_checks(self, f):
+        s = MSOSolver()
+        r = s.satisfiable(f)
+        assert r.is_sat
+        env = {v: r.witness.labels.get(v, frozenset()) for v in S.free_vars(f)}
+        assert evaluate(f, r.witness.tree, env)

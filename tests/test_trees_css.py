@@ -1,0 +1,145 @@
+"""Tests for the mini CSS engine and LCRS conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.css import (
+    PROPERTY_CODES,
+    CssNode,
+    css_to_binary_tree,
+    encode_fields,
+    minify,
+    minify_fused,
+    parse_css,
+    render_css,
+)
+from repro.trees.lcrs import NaryNode, from_lcrs, to_lcrs
+
+
+class TestParser:
+    def test_single_rule(self):
+        sheet = parse_css(".a { width: 10px }")
+        assert len(sheet.children) == 1
+        rule = sheet.children[0]
+        kinds = [c.kind for c in rule.children]
+        assert kinds == ["selector", "decl"]
+
+    def test_multiple_declarations(self):
+        sheet = parse_css(".a { width: 10px; font-weight: bold }")
+        rule = sheet.children[0]
+        decls = [c for c in rule.children if c.kind == "decl"]
+        assert [d.text for d in decls] == ["width", "font-weight"]
+
+    def test_function_values(self):
+        sheet = parse_css(".a { width: calc(100px, 2) }")
+        decl = sheet.children[0].children[1]
+        fn = decl.children[0]
+        assert fn.kind == "func" and fn.text == "calc"
+        assert [c.text for c in fn.children] == ["100px", "2"]
+
+    def test_value_prop_annotation(self):
+        sheet = parse_css(".a { font-weight: normal }")
+        val = sheet.children[0].children[1].children[0]
+        assert val.prop == "font-weight"
+
+    def test_render_round_trip_stable(self):
+        src = ".a{width:0;font-weight:400}"
+        once = render_css(parse_css(src))
+        assert render_css(parse_css(once)) == once
+
+
+class TestMinification:
+    def test_ms_to_s(self):
+        assert ".1s" in minify(".a { transition-duration: 100ms }")
+
+    def test_zero_px(self):
+        assert "width:0}" in minify(".a { width: 0px }")
+
+    def test_font_weight_keywords(self):
+        out = minify(".a { font-weight: normal; font-weight: bold }")
+        assert "400" in out and "700" in out
+
+    def test_initial_reduced(self):
+        out = minify(".a { min-width: initial }")
+        assert "min-width:0" in out
+
+    def test_initial_kept_when_no_shorter_default(self):
+        out = minify(".a { bogus-prop: initial }")
+        assert "initial" in out
+
+    def test_fused_equals_separate(self):
+        srcs = [
+            ".a { transition-duration: 100ms; font-weight: normal }",
+            ".b { min-width: initial; width: 0px } .c { font-weight: bold }",
+            "#x .y { animation-duration: 3000ms; letter-spacing: initial }",
+        ]
+        for src in srcs:
+            assert minify(src) == minify_fused(src)
+
+    def test_minified_never_longer(self):
+        src = ".a { font-weight: normal; min-width: initial; width: 0px }"
+        assert len(minify(src)) <= len(render_css(parse_css(src)))
+
+
+class TestEncoding:
+    def test_encode_fields_present(self):
+        sheet = encode_fields(parse_css(".a { font-weight: normal }"))
+        vals = [n for n in sheet.walk() if n.kind == "word"]
+        assert vals and vals[0].get("prop") == PROPERTY_CODES["font-weight"]
+        assert vals[0].get("vlen") == len("normal")
+
+    def test_binary_tree_size_matches_ast(self):
+        src = ".a { width: 0px } .b { font-weight: bold }"
+        sheet = parse_css(src)
+        t = css_to_binary_tree(src)
+        assert t.size == sheet.size
+
+
+@st.composite
+def nary_trees(draw, depth=3):
+    n = NaryNode({"v": draw(st.integers(0, 9))})
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            n.children.append(draw(nary_trees(depth=depth - 1)))
+    return n
+
+
+class TestLcrs:
+    def test_round_trip_simple(self):
+        root = NaryNode({"v": 1})
+        a = root.add(NaryNode({"v": 2}))
+        root.add(NaryNode({"v": 3}))
+        a.add(NaryNode({"v": 4}))
+        back = from_lcrs(to_lcrs(root))
+        assert [c.get("v") for c in back.children] == [2, 3]
+        assert back.children[0].children[0].get("v") == 4
+
+    def test_size_preserved(self):
+        root = NaryNode()
+        for i in range(4):
+            c = root.add(NaryNode())
+            for j in range(i):
+                c.add(NaryNode())
+        assert to_lcrs(root).size == root.size
+
+    @given(nary_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, root):
+        def shape(n):
+            return (tuple(sorted(n.fields.items())),
+                    tuple(shape(c) for c in n.children))
+
+        assert shape(from_lcrs(to_lcrs(root))) == shape(root)
+
+    def test_empty_tree(self):
+        from repro.trees.heap import Tree, nil
+
+        assert from_lcrs(Tree(nil())) is None
+
+    def test_first_child_is_left(self):
+        root = NaryNode({"v": 0})
+        root.add(NaryNode({"v": 1}))
+        t = to_lcrs(root)
+        assert t.node_at("l").get("v") == 1
+        assert t.node_at("r").is_nil

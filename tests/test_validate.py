@@ -1,0 +1,107 @@
+"""Tests for static validation of the §2.1 restrictions."""
+
+import pytest
+
+from repro.lang import ValidationError, parse_program, validate
+
+
+class TestTermination:
+    def test_direct_same_node_recursion_rejected(self):
+        p = parse_program("F(n, k) { x = F(n, k - 1); return x }")
+        with pytest.raises(ValidationError, match="same-node recursion"):
+            validate(p)
+
+    def test_mutual_same_node_recursion_rejected(self):
+        p = parse_program(
+            "F(n) { x = G(n); return x }\nG(n) { x = F(n); return x }"
+        )
+        with pytest.raises(ValidationError, match="same-node recursion"):
+            validate(p)
+
+    def test_descending_recursion_allowed(self, sizecount_par):
+        validate(sizecount_par)
+
+    def test_same_node_call_without_cycle_allowed(self):
+        # Main calls Odd(n) on the same node: allowed (no cycle).
+        p = parse_program(
+            "G(n) { return 0 }\nMain(n) { x = G(n); return x }"
+        )
+        assert validate(p) == []
+
+    def test_mixed_cycle_with_descent_allowed(self):
+        # F -> G same-node, G -> F descending: every cycle descends.
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { x = G(n); return x } }\n"
+            "G(n) { if (n == nil) { return 0 } else { x = F(n.l); return x } }"
+        )
+        assert validate(p) == []
+
+
+class TestSignatures:
+    def test_undefined_function(self):
+        p = parse_program("F(n) { x = Nope(n.l); return x }")
+        with pytest.raises(ValidationError, match="undefined"):
+            validate(p)
+
+    def test_call_descends_two_levels(self):
+        p = parse_program(
+            "G(n) { return 0 }\n"
+            "F(n) { if (n == nil) { return 0 } else { x = G(n.l.r); return x } }"
+        )
+        with pytest.raises(ValidationError, match="more than one level"):
+            validate(p)
+
+    def test_target_arity_mismatch(self):
+        p = parse_program(
+            "G(n) { return 0, 1 }\nF(n) { x = G(n.l); return x }"
+        )
+        with pytest.raises(ValidationError, match="return values"):
+            validate(p)
+
+    def test_zero_targets_allowed(self, cycletree_seq):
+        assert validate(cycletree_seq) == []
+
+
+class TestGuardedDerefs:
+    def test_unguarded_field_read_warns(self):
+        p = parse_program("F(n) { n.v = n.l.v; return 0 }")
+        warnings = validate(p)
+        assert any("not syntactically guarded" in w for w in warnings)
+
+    def test_guarded_field_read_clean(self):
+        p = parse_program(
+            "F(n) { if (n == nil) { return 0 } else { "
+            "if (n.l == nil) { return 0 } else { n.v = n.l.v; return 0 } } }"
+        )
+        assert validate(p) == []
+
+    def test_case_studies_clean(
+        self,
+        sizecount_par,
+        sizecount_seq,
+        treemutation_orig,
+        treemutation_fused,
+        css_orig,
+        css_fused,
+        cycletree_seq,
+        cycletree_fused,
+    ):
+        for p in (
+            sizecount_par, sizecount_seq, treemutation_orig,
+            treemutation_fused, css_orig, css_fused, cycletree_seq,
+            cycletree_fused,
+        ):
+            assert validate(p) == [], p.name
+
+
+class TestParallelLocals:
+    def test_shared_write_in_par_warns(self):
+        p = parse_program(
+            "G(n) { return 1 }\n"
+            "Main(n) { { x = G(n) || x = G(n) }; return x }"
+        )
+        warnings = validate(p)
+        assert any("parallel branches both write" in w for w in warnings)
+
+    def test_disjoint_par_writes_clean(self, sizecount_par):
+        assert validate(sizecount_par) == []
