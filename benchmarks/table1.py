@@ -6,10 +6,11 @@ the scope bound) and, where the pure-Python symbolic engine completes
 within budget, on the MSO engine too.  Prints the table EXPERIMENTS.md
 records.
 
-Usage:  python benchmarks/table1.py [--scope 4] [--mso]
+Usage:  python benchmarks/table1.py [--scope 4] [--mso] [--json OUT]
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -67,13 +68,15 @@ def run_mso(task, deadline_s=120.0):
     t0 = time.perf_counter()
     if task[0] == "race":
         v = check_data_race_mso(task[1], deadline=t0 + deadline_s)
-        if v.status != "decided":
-            return "budget", time.perf_counter() - t0
-        return ("counterexample" if v.found else "race-free"), v.elapsed
-    v = check_conflict_mso(task[1], task[2], task[3], deadline=t0 + deadline_s)
+        good, bad = "race-free", "counterexample"
+    else:
+        v = check_conflict_mso(
+            task[1], task[2], task[3], deadline=t0 + deadline_s
+        )
+        good, bad = "valid", "counterexample"
     if v.status != "decided":
-        return "budget", time.perf_counter() - t0
-    return ("counterexample" if v.found else "valid"), v.elapsed
+        return "budget", time.perf_counter() - t0, v
+    return (bad if v.found else good), v.elapsed, v
 
 
 def main() -> int:
@@ -84,6 +87,9 @@ def main() -> int:
                     help="also run the symbolic engine (race queries; "
                          "conflict queries report 'budget')")
     ap.add_argument("--mso-deadline", type=float, default=120.0)
+    ap.add_argument("--json", metavar="OUT", default=None,
+                    help="also dump verdicts, engines, and per-phase "
+                         "timings as JSON to OUT")
     args = ap.parse_args()
 
     scope = default_scope(args.scope)
@@ -97,6 +103,7 @@ def main() -> int:
     print(header)
     print("-" * len(header))
     all_match = True
+    records = []
     for tid, desc, kind, paper_verdict, paper_s in PAPER:
         verdict, secs = run_bounded(t[tid], scope)
         match = verdict == paper_verdict
@@ -105,15 +112,48 @@ def main() -> int:
             f"{tid:<6} {desc:<38} {paper_verdict:>15} {paper_s:>9.2f} "
             f"{verdict + ('' if match else ' (!)'):>15} {secs:>8.3f}"
         )
+        rec = {
+            "id": tid,
+            "task": desc,
+            "kind": kind,
+            "paper_verdict": paper_verdict,
+            "paper_seconds": paper_s,
+            "bounded": {
+                "verdict": verdict,
+                "seconds": round(secs, 4),
+                "scope": args.scope,
+                "match": match,
+            },
+        }
         if args.mso:
-            mso_verdict, mso_secs = run_mso(t[tid], args.mso_deadline)
+            mso_verdict, mso_secs, mv = run_mso(t[tid], args.mso_deadline)
             row += f" {mso_verdict:>15} {mso_secs:>9.2f}"
+            rec["mso"] = {
+                "verdict": mso_verdict,
+                "seconds": round(mso_secs, 4),
+                "queries": mv.queries,
+                "max_reached_states": mv.max_states,
+                "match": mso_verdict == paper_verdict,
+                "phases": mv.stats,
+            }
+        records.append(rec)
         print(row, flush=True)
     print("-" * len(header))
     print(
         f"verdicts {'ALL MATCH' if all_match else 'MISMATCH'} the paper "
         f"(bounded engine, scope <= {args.scope} internal nodes)"
     )
+    if args.json:
+        payload = {
+            "scope": args.scope,
+            "mso": bool(args.mso),
+            "all_match": all_match,
+            "tasks": records,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0 if all_match else 1
 
 

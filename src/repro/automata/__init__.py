@@ -3,11 +3,13 @@
 from .determinize import StateBudgetExceeded, determinize
 from .emptiness import Witness, find_witness, is_empty
 from .minimize import minimize, prune_unreachable
+from .product import Exploration, ProductAutomaton
 from .tta import TrackRegistry, TreeAutomaton, split_guards
 
 __all__ = [
     "StateBudgetExceeded", "determinize",
     "Witness", "find_witness", "is_empty",
+    "Exploration", "ProductAutomaton",
     "minimize", "prune_unreachable",
     "TrackRegistry", "TreeAutomaton", "split_guards",
 ]

@@ -1,14 +1,25 @@
-"""Emptiness test and witness-tree extraction for tree automata."""
+"""Emptiness test and witness-tree extraction for tree automata.
+
+Both entry points accept a plain :class:`TreeAutomaton` or an implicit
+:class:`~repro.automata.product.ProductAutomaton`; either way the
+bottom-up reachability fixpoint runs lazily (a plain automaton is a
+1-factor product), constructs only reachable states, short-circuits on
+the first accepting state, and can be bounded by a reached-state budget
+and a wall-clock deadline.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Union
 
 from ..trees.heap import Tree, TreeNode, nil, node
+from .product import Exploration, ProductAutomaton
 from .tta import TreeAutomaton
 
 __all__ = ["Witness", "find_witness", "is_empty"]
+
+Automaton = Union[TreeAutomaton, ProductAutomaton]
 
 
 @dataclass
@@ -35,68 +46,55 @@ class Witness:
         return "\n".join(lines)
 
 
-# Internally a witness per state is (cube, left_state, right_state) where
-# cube is a {level: bool} partial assignment for the node's label bits.
-_Entry = Tuple[Dict[int, bool], Optional[int], Optional[int]]
+def _as_product(a: Automaton) -> ProductAutomaton:
+    return a if isinstance(a, ProductAutomaton) else ProductAutomaton([a])
 
 
-def _saturate(a: TreeAutomaton) -> Dict[int, _Entry]:
-    mgr = a.manager
-    table: Dict[int, _Entry] = {}
-    for g, q in a.leaf:
-        if q not in table:
-            cube = mgr.pick_cube(g)
-            if cube is not None:
-                table[q] = (cube, None, None)
-    changed = True
-    while changed:
-        changed = False
-        for (ql, qr), entries in a.delta.items():
-            if ql not in table or qr not in table:
-                continue
-            for g, q in entries:
-                if q in table:
-                    continue
-                cube = mgr.pick_cube(g)
-                if cube is None:
-                    continue
-                table[q] = (cube, ql, qr)
-                changed = True
-    return table
-
-
-def is_empty(a: TreeAutomaton) -> bool:
+def is_empty(
+    a: Automaton,
+    max_states: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> bool:
     """True iff the automaton accepts no labelled tree."""
-    table = _saturate(a)
-    return not any(q in table for q in a.accepting)
+    exp = _as_product(a).explore(max_states=max_states, deadline=deadline)
+    return exp.empty
 
 
-def find_witness(a: TreeAutomaton) -> Optional[Witness]:
+def find_witness(
+    a: Automaton,
+    max_states: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> Optional[Witness]:
     """A smallest-ish accepted labelled tree, or None when empty."""
-    table = _saturate(a)
-    target = next((q for q in a.accepting if q in table), None)
-    if target is None:
-        return None
-    labels: Dict[str, set] = {t: set() for t in a.tracks}
-    level_to_name = {
-        a.registry.level(t): t for t in a.tracks
-    }
+    prod = _as_product(a)
+    exp = prod.explore(max_states=max_states, deadline=deadline)
+    return witness_from_exploration(prod, exp)
 
-    def build(q: int, path: str) -> TreeNode:
+
+def witness_from_exploration(
+    prod: ProductAutomaton, exp: Exploration
+) -> Optional[Witness]:
+    """Decode the witness tree recorded by a lazy exploration."""
+    if exp.target is None:
+        return None
+    registry = prod.registry
+    tracks = prod.tracks
+    labels: Dict[str, set] = {t: set() for t in tracks}
+    level_to_name = {registry.level(t): t for t in tracks}
+    table = exp.table
+
+    def build(q, path: str) -> TreeNode:
         cube, ql, qr = table[q]
         for lvl, val in cube.items():
             if val and lvl in level_to_name:
                 labels[level_to_name[lvl]].add(path)
         if ql is None:
-            return nil_with_path(path)
+            return nil()
         left = build(ql, path + "l")
-        right = build(qr, path + "r")  # type: ignore[arg-type]
+        right = build(qr, path + "r")
         return node(left, right)
 
-    def nil_with_path(path: str) -> TreeNode:
-        return nil()
-
-    root = build(target, "")
+    root = build(exp.target, "")
     return Witness(
         tree=Tree(root),
         labels={t: frozenset(s) for t, s in labels.items()},

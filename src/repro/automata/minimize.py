@@ -18,7 +18,7 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from .tta import TreeAutomaton
 
-__all__ = ["minimize", "prune_unreachable", "reduce_nfta"]
+__all__ = ["minimize", "prune_dead", "prune_unreachable", "reduce_nfta"]
 
 Trans_t = List[Tuple[int, int]]
 
@@ -53,6 +53,64 @@ def prune_unreachable(a: TreeAutomaton) -> TreeAutomaton:
         accepting=frozenset(remap[q] for q in a.accepting if q in remap),
         deterministic=a.deterministic,
         complete=a.complete,
+    )
+
+
+def prune_dead(a: TreeAutomaton) -> TreeAutomaton:
+    """Keep only *useful* states — those occurring in some accepting run.
+
+    A state is useful iff it is bottom-up reachable AND co-reachable: an
+    accepting root state, or a child position of a transition whose
+    target is useful.  Dropping the rest preserves the language exactly
+    (every accepting run consists of useful states only) but loses
+    completeness, so this is for emptiness-oriented pipelines — lazy
+    product exploration above all, where a dead component dooms every
+    product tuple containing it.
+    """
+    reach = set(q for _, q in a.leaf)
+    changed = True
+    while changed:
+        changed = False
+        for (ql, qr), entries in a.delta.items():
+            if ql in reach and qr in reach:
+                for _, q in entries:
+                    if q not in reach:
+                        reach.add(q)
+                        changed = True
+    useful = set(q for q in a.accepting if q in reach)
+    changed = True
+    while changed:
+        changed = False
+        for (ql, qr), entries in a.delta.items():
+            if ql not in reach or qr not in reach:
+                continue
+            if any(q in useful for _, q in entries):
+                if ql not in useful:
+                    useful.add(ql)
+                    changed = True
+                if qr not in useful:
+                    useful.add(qr)
+                    changed = True
+    if len(useful) == a.n_states:
+        return a
+    remap = {q: i for i, q in enumerate(sorted(useful))}
+    return TreeAutomaton(
+        registry=a.registry,
+        tracks=a.tracks,
+        n_states=len(remap),
+        leaf=[(g, remap[q]) for g, q in a.leaf if q in remap],
+        delta={
+            (remap[ql], remap[qr]): pruned
+            for (ql, qr), entries in a.delta.items()
+            if ql in remap and qr in remap
+            for pruned in [
+                [(g, remap[q]) for g, q in entries if q in remap]
+            ]
+            if pruned
+        },
+        accepting=frozenset(remap[q] for q in a.accepting if q in remap),
+        deterministic=a.deterministic,
+        complete=False,
     )
 
 

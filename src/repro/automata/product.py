@@ -1,0 +1,370 @@
+"""Implicit N-way conjunction products with on-the-fly emptiness.
+
+The seed pipeline materialized conjunction products pairwise: every
+``A ∧ B`` built *all* reachable ``(p, q)`` states of the binary product
+before the next factor was conjoined, so an intermediate product could
+blow the state budget even when the *final* conjunction — pruned by the
+cheap constraints conjoined last — was tiny.  MONA's engineering lesson
+(and the pipeline discipline of the monadic-datalog literature) is to
+never build states the emptiness search does not reach.
+
+:class:`ProductAutomaton` represents the synchronized product of N tree
+automata *implicitly*: a product state is a tuple of factor states, a
+product transition conjoins the factors' BDD guards.  Nothing is
+enumerated at construction time.  :meth:`ProductAutomaton.explore` runs
+the bottom-up reachability fixpoint directly on this implicit automaton,
+constructing only reachable tuples, conjoining guards
+smallest-factor-state-set first so empty intersections prune before the
+expensive factors are consulted, and short-circuiting as soon as an
+accepting tuple is reached.  The state budget therefore counts *reached*
+product states — the quantity emptiness actually needs — not the size of
+the materialized product.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tta import TreeAutomaton
+
+__all__ = ["ProductAutomaton", "Exploration"]
+
+
+def _merge_small_factors(factors, limit: int, deadline: Optional[float] = None):
+    """Greedily fold factor pairs whose product stays tiny.
+
+    Dozens of 1–4-state atom automata dominate a query's conjunction;
+    exploring them as separate tuple components pays a per-factor cost
+    on every expansion.  Pairs are merged smallest-first whenever the
+    materialized product, pruned and reduced, stays within ``limit``
+    states — a bounded amount of eager work that typically collapses the
+    factor list by an order of magnitude.  Factors that cannot merge
+    under the cap stay implicit (that is the whole point of the lazy
+    engine).
+
+    Two cost guards keep this phase from re-creating the eager engine's
+    blow-ups: pairs with disjoint track sets are only tried while the
+    *full* product fits the cap (independent automata don't compress —
+    their minimal conjunction is the whole product), and each attempt
+    materializes at most ``4 * limit`` states before giving up.  Merging
+    is best-effort: when the deadline passes, the remaining factors are
+    returned unmerged rather than raising — exploration enforces its own
+    deadline.
+    """
+    from .determinize import StateBudgetExceeded
+    from .minimize import minimize, prune_dead, reduce_nfta
+
+    attempt_cap = max(4 * limit, 64)
+    pool = sorted(factors, key=lambda a: a.n_states)
+    done: List[TreeAutomaton] = []
+    while len(pool) > 1:
+        if deadline is not None and time.perf_counter() > deadline:
+            return done + pool
+        head = pool.pop(0)
+        merged = None
+        for j, cand in enumerate(pool):
+            if head.n_states * cand.n_states > limit * limit:
+                break  # pool is sorted: later candidates are bigger
+            if (
+                head.n_states * cand.n_states > limit
+                and not (head.tracks & cand.tracks)
+            ):
+                continue
+            try:
+                prod = head.product(
+                    cand,
+                    lambda x, y: x and y,
+                    max_states=attempt_cap,
+                    deadline=deadline,
+                )
+                prod = prune_dead(prod)
+                if prod.deterministic:
+                    prod = minimize(prod, deadline=deadline)
+                else:
+                    prod = reduce_nfta(prod, deadline=deadline)
+            except StateBudgetExceeded:
+                continue
+            if prod.n_states <= limit:
+                merged = prod
+                pool.pop(j)
+                break
+        if merged is None:
+            done.append(head)
+        else:
+            pool = sorted(pool + [merged], key=lambda a: a.n_states)
+    return done + pool
+
+# Witness table entry: (cube, left_tuple, right_tuple); leaves have None
+# children.  ``cube`` is a {BDD level: bool} partial assignment for the
+# node's label bits, as in :mod:`repro.automata.emptiness`.
+_Entry = Tuple[Dict[int, bool], Optional[tuple], Optional[tuple]]
+
+
+@dataclass
+class Exploration:
+    """Result of one lazy reachability fixpoint run."""
+
+    table: Dict[tuple, _Entry]
+    target: Optional[tuple]  # an accepting tuple, or None
+    reached: int  # product states constructed
+    complete: bool  # False when the search short-circuited on ``target``
+
+    @property
+    def empty(self) -> bool:
+        return self.target is None
+
+
+class ProductAutomaton:
+    """Implicit synchronized product of tree automata (conjunction).
+
+    The language is the intersection of the factor languages; a tuple
+    state is accepting iff every component is accepting in its factor.
+    Factors must share one :class:`~repro.automata.tta.TrackRegistry`.
+    Nested products flatten, so ``ProductAutomaton([P, a])`` where ``P``
+    is itself a product behaves like one flat N-way product.
+    """
+
+    #: Pre-merge cap: factor pairs whose materialized product minimizes
+    #: to at most this many states are combined eagerly.  Small enough
+    #: that a merge attempt is always cheap, large enough to fold the
+    #: dozens of tiny atom automata a query conjoins into a few factors.
+    MERGE_LIMIT = 32
+
+    def __init__(
+        self,
+        factors: Sequence,
+        merge_limit: Optional[int] = None,
+        merge_deadline: Optional[float] = None,
+    ) -> None:
+        from .minimize import prune_dead
+
+        flat: List[TreeAutomaton] = []
+        for f in factors:
+            if isinstance(f, ProductAutomaton):
+                flat.extend(f.factors)  # already pruned
+            else:
+                # Dead components doom every tuple containing them, so
+                # restricting each factor to states that occur in some
+                # accepting run shrinks the explorable tuple space by
+                # orders of magnitude without changing any language.
+                flat.append(prune_dead(f))
+        if not flat:
+            raise ValueError("ProductAutomaton needs at least one factor")
+        registry = flat[0].registry
+        for f in flat[1:]:
+            assert f.registry is registry, "factors must share a registry"
+        limit = self.MERGE_LIMIT if merge_limit is None else merge_limit
+        if limit and len(flat) > 1:
+            flat = _merge_small_factors(flat, limit, deadline=merge_deadline)
+        self.factors: List[TreeAutomaton] = flat
+        self.registry = registry
+        # Exploration order: smallest factor state sets first, so the
+        # cheap, most-constraining factors conjoin (and fail) early.
+        self._order = sorted(
+            range(len(flat)), key=lambda i: flat[i].n_states
+        )
+        self._last: Optional[Exploration] = None
+
+    # -- automaton-like surface -------------------------------------------------
+    @property
+    def manager(self):
+        return self.registry.manager
+
+    @property
+    def tracks(self) -> frozenset:
+        out: frozenset = frozenset()
+        for f in self.factors:
+            out = out | f.tracks
+        return out
+
+    @property
+    def n_states(self) -> int:
+        """Size of the *full* product (what eager construction would pay)."""
+        n = 1
+        for f in self.factors:
+            n *= f.n_states
+        return n
+
+    @property
+    def reached_states(self) -> int:
+        """Product states constructed by the most recent exploration."""
+        return self._last.reached if self._last is not None else 0
+
+    def describe(self) -> str:
+        sizes = "x".join(str(f.n_states) for f in self.factors)
+        return (
+            f"Product({len(self.factors)} factors, {sizes} implicit states, "
+            f"tracks={sorted(self.tracks)})"
+        )
+
+    def accepting_tuple(self, t: tuple) -> bool:
+        return all(
+            t[i] in f.accepting for i, f in enumerate(self.factors)
+        )
+
+    def run(self, tree, labels) -> bool:
+        """Accept iff every factor accepts (for differential testing)."""
+        return all(f.run(tree, labels) for f in self.factors)
+
+    # -- eager fallback ---------------------------------------------------------
+    def materialized(
+        self,
+        max_states: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> TreeAutomaton:
+        """Fold into one explicit automaton via pairwise products.
+
+        Only used by differential tests and by callers that need a real
+        :class:`TreeAutomaton` (e.g. to complement); the point of this
+        class is that deciding emptiness never requires it.
+        """
+        autos = sorted(self.factors, key=lambda a: a.n_states)
+        acc = autos[0]
+        for nxt in autos[1:]:
+            acc = acc.product(
+                nxt, lambda x, y: x and y,
+                max_states=max_states, deadline=deadline,
+            )
+        return acc
+
+    def projected(self, tracks) -> TreeAutomaton:
+        """Existentially quantify tracks out — materializes first.
+
+        Projection distributes over neither conjunction nor its factors,
+        so an explicit automaton is required; callers that only need
+        emptiness should skip projection entirely (it never changes
+        emptiness) and drop the tracks from the witness instead.
+        """
+        return self.materialized().projected(tracks)
+
+    # -- the lazy fixpoint ------------------------------------------------------
+    def explore(
+        self,
+        max_states: Optional[int] = None,
+        deadline: Optional[float] = None,
+        stop_on_accepting: bool = True,
+    ) -> Exploration:
+        """Bottom-up reachability fixpoint on the implicit product.
+
+        Discovers tuple states from the factors' leaf transitions and
+        closes under the synchronized delta, recording one witness cube
+        and child pointers per tuple (for witness-tree extraction).
+        Raises :class:`~repro.automata.determinize.StateBudgetExceeded`
+        when more than ``max_states`` tuples are constructed or the
+        ``deadline`` (``time.perf_counter()`` value) passes.  With
+        ``stop_on_accepting`` the search returns as soon as an accepting
+        tuple is found (sufficient for emptiness/witness queries); the
+        returned exploration is then marked incomplete.
+        """
+        from .determinize import StateBudgetExceeded
+
+        mgr = self.manager
+        factors = self.factors
+        order = self._order
+        n = len(factors)
+        false = mgr.false
+        apply_and = mgr.apply_and
+
+        table: Dict[tuple, _Entry] = {}
+        target: Optional[tuple] = None
+        # Frontier as a heap ordered by number of non-accepting
+        # components: tuples closer to acceptance expand first, which
+        # finds witnesses (and short-circuits) sooner on sat queries.
+        frontier: List[Tuple[int, int, tuple]] = []
+        counter = 0
+
+        def distance(t: tuple) -> int:
+            return sum(
+                1 for i in range(n) if t[i] not in factors[i].accepting
+            )
+
+        def discover(t: tuple, guard: int, lt, rt) -> bool:
+            """Record a newly reached tuple; True when it is accepting."""
+            nonlocal counter, target
+            if t in table:
+                return False
+            if max_states is not None and len(table) >= max_states:
+                raise StateBudgetExceeded(
+                    f"lazy product exceeded {max_states} reached states"
+                )
+            cube = mgr.pick_cube(guard)
+            if cube is None:  # unsatisfiable guard — not a real transition
+                return False
+            table[t] = (cube, lt, rt)
+            counter += 1
+            heapq.heappush(frontier, (distance(t), counter, t))
+            if target is None and self.accepting_tuple(t):
+                target = t
+                return True
+            return False
+
+        ticks = [0]
+
+        def tick() -> None:
+            ticks[0] += 1
+            if deadline is not None and ticks[0] % 4096 == 0:
+                if time.perf_counter() > deadline:
+                    raise StateBudgetExceeded(
+                        "lazy product deadline exceeded"
+                    )
+
+        def combos(entry_lists: List):
+            """Yield satisfiable guard-conjunctions across the factors.
+
+            ``entry_lists[k]`` is the transition list of factor
+            ``order[k]``; results are (guard, tuple-in-factor-order).
+            Guards conjoin in exploration order, so an empty
+            intersection aborts before later (larger) factors are
+            touched.  A generator, so the budget/deadline checks in the
+            consumer interleave with enumeration — a combinatorial cell
+            count can only ever burn budget, not hang.
+            """
+            buf = [0] * n
+
+            def rec(k: int, guard: int):
+                if k == n:
+                    yield (guard, tuple(buf))
+                    return
+                tick()
+                for g, q in entry_lists[k]:
+                    g2 = apply_and(guard, g)
+                    if g2 != false:
+                        buf[order[k]] = q
+                        yield from rec(k + 1, g2)
+
+            yield from rec(0, mgr.true)
+
+        # Seed: synchronized leaf transitions.
+        for guard, t in combos([factors[i].leaf for i in order]):
+            if discover(t, guard, None, None) and stop_on_accepting:
+                self._last = Exploration(table, target, len(table), False)
+                return self._last
+
+        processed: List[tuple] = []
+
+        def expand(l: tuple, r: tuple) -> bool:
+            entry_lists = []
+            for i in order:
+                entries = factors[i].delta.get((l[i], r[i]))
+                if not entries:
+                    return False
+                entry_lists.append(entries)
+            for guard, t in combos(entry_lists):
+                if discover(t, guard, l, r) and stop_on_accepting:
+                    return True
+            return False
+
+        while frontier:
+            _, _, t = heapq.heappop(frontier)
+            processed.append(t)
+            for u in processed:
+                tick()
+                if expand(t, u) or (u is not t and expand(u, t)):
+                    self._last = Exploration(table, target, len(table), False)
+                    return self._last
+
+        self._last = Exploration(table, target, len(table), True)
+        return self._last

@@ -24,6 +24,16 @@ __all__ = ["BDDManager"]
 FALSE = 0
 TRUE = 1
 
+# Operation tags for the shared memo table (small ints hash fastest).
+_AND = 0
+_OR = 1
+_NOT = 2
+_EXISTS = 3
+_RESTRICT = 4
+
+_OP_NAMES = {_AND: "and", _OR: "or", _NOT: "not",
+             _EXISTS: "exists", _RESTRICT: "restrict"}
+
 
 class BDDManager:
     """A shared store of hash-consed BDD nodes."""
@@ -32,11 +42,12 @@ class BDDManager:
         # node idx -> (level, lo, hi); indices 0/1 are terminals.
         self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._and_cache: Dict[Tuple[int, int], int] = {}
-        self._or_cache: Dict[Tuple[int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
-        self._exists_cache: Dict[Tuple[int, frozenset], int] = {}
-        self._restrict_cache: Dict[Tuple[int, int, bool], int] = {}
+        # One keyed operation cache for every memoized op; keys are
+        # (op-tag, operands...).  A single table keeps memory accounting
+        # (and ``cache_stats``) trivial and lets callers clear one dict.
+        self._op_cache: Dict[Tuple, int] = {}
+        self._op_hits = 0
+        self._op_misses = 0
 
     # -- node plumbing ---------------------------------------------------------
     def _mk(self, level: int, lo: int, hi: int) -> int:
@@ -74,6 +85,25 @@ class BDDManager:
     def size(self) -> int:
         return len(self._nodes)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Node and operation-cache counters (for solver statistics).
+
+        ``cache_<op>`` entries count memoized results per operation;
+        ``cache_hits``/``cache_misses`` count lookups since construction.
+        """
+        per_op: Dict[int, int] = {}
+        for key in self._op_cache:
+            per_op[key[0]] = per_op.get(key[0], 0) + 1
+        out = {
+            "nodes": len(self._nodes),
+            "cache_entries": len(self._op_cache),
+            "cache_hits": self._op_hits,
+            "cache_misses": self._op_misses,
+        }
+        for tag, name in _OP_NAMES.items():
+            out[f"cache_{name}"] = per_op.get(tag, 0)
+        return out
+
     # -- boolean operations -------------------------------------------------------
     def apply_and(self, u: int, v: int) -> int:
         if u == FALSE or v == FALSE:
@@ -86,10 +116,12 @@ class BDDManager:
             return u
         if u > v:
             u, v = v, u
-        key = (u, v)
-        r = self._and_cache.get(key)
+        key = (_AND, u, v)
+        r = self._op_cache.get(key)
         if r is not None:
+            self._op_hits += 1
             return r
+        self._op_misses += 1
         lu, lou, hiu = self._nodes[u]
         lv, lov, hiv = self._nodes[v]
         if lu == lv:
@@ -105,7 +137,7 @@ class BDDManager:
             hi = self.apply_and(u, hiv)
             lvl = lv
         r = self._mk(lvl, lo, hi)
-        self._and_cache[key] = r
+        self._op_cache[key] = r
         return r
 
     def apply_or(self, u: int, v: int) -> int:
@@ -119,10 +151,12 @@ class BDDManager:
             return u
         if u > v:
             u, v = v, u
-        key = (u, v)
-        r = self._or_cache.get(key)
+        key = (_OR, u, v)
+        r = self._op_cache.get(key)
         if r is not None:
+            self._op_hits += 1
             return r
+        self._op_misses += 1
         lu, lou, hiu = self._nodes[u]
         lv, lov, hiv = self._nodes[v]
         if lu == lv:
@@ -138,7 +172,7 @@ class BDDManager:
             hi = self.apply_or(u, hiv)
             lvl = lv
         r = self._mk(lvl, lo, hi)
-        self._or_cache[key] = r
+        self._op_cache[key] = r
         return r
 
     def apply_not(self, u: int) -> int:
@@ -146,12 +180,15 @@ class BDDManager:
             return TRUE
         if u == TRUE:
             return FALSE
-        r = self._not_cache.get(u)
+        key = (_NOT, u)
+        r = self._op_cache.get(key)
         if r is not None:
+            self._op_hits += 1
             return r
+        self._op_misses += 1
         lvl, lo, hi = self._nodes[u]
         r = self._mk(lvl, self.apply_not(lo), self.apply_not(hi))
-        self._not_cache[u] = r
+        self._op_cache[key] = r
         return r
 
     def apply_diff(self, u: int, v: int) -> int:
@@ -181,10 +218,12 @@ class BDDManager:
     def restrict(self, u: int, level: int, value: bool) -> int:
         if u <= TRUE:
             return u
-        key = (u, level, value)
-        r = self._restrict_cache.get(key)
+        key = (_RESTRICT, u, level, value)
+        r = self._op_cache.get(key)
         if r is not None:
+            self._op_hits += 1
             return r
+        self._op_misses += 1
         lvl, lo, hi = self._nodes[u]
         if lvl > level:
             r = u
@@ -196,17 +235,19 @@ class BDDManager:
                 self.restrict(lo, level, value),
                 self.restrict(hi, level, value),
             )
-        self._restrict_cache[key] = r
+        self._op_cache[key] = r
         return r
 
     def exists(self, u: int, levels: frozenset) -> int:
         """Existentially quantify the given levels out of ``u``."""
         if u <= TRUE or not levels:
             return u
-        key = (u, levels)
-        r = self._exists_cache.get(key)
+        key = (_EXISTS, u, levels)
+        r = self._op_cache.get(key)
         if r is not None:
+            self._op_hits += 1
             return r
+        self._op_misses += 1
         lvl, lo, hi = self._nodes[u]
         elo = self.exists(lo, levels)
         ehi = self.exists(hi, levels)
@@ -214,7 +255,7 @@ class BDDManager:
             r = self.apply_or(elo, ehi)
         else:
             r = self._mk(lvl, elo, ehi)
-        self._exists_cache[key] = r
+        self._op_cache[key] = r
         return r
 
     # -- evaluation / models -----------------------------------------------------------

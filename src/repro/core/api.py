@@ -94,6 +94,10 @@ def check_data_race(
             program, det_budget=det_budget, deadline=deadline
         )
         details["mso"] = str(sym)
+        details["mso_queries"] = sym.queries
+        details["mso_reached_states"] = sym.max_states
+        if sym.stats is not None:
+            details["mso_stats"] = sym.stats
         if sym.status == "decided":
             used = "mso"
         elif engine == "mso":
@@ -184,6 +188,10 @@ def check_equivalence(
             p, p_prime, mapping, det_budget=det_budget, deadline=deadline
         )
         details["mso"] = str(sym)
+        details["mso_queries"] = sym.queries
+        details["mso_reached_states"] = sym.max_states
+        if sym.stats is not None:
+            details["mso_stats"] = sym.stats
         if sym.status == "decided":
             used = "mso"
         elif engine == "mso":

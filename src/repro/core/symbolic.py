@@ -38,6 +38,9 @@ class SymbolicVerdict:
     queries: int = 0
     elapsed: float = 0.0
     max_states: int = 0
+    # Snapshot of the solver's per-phase statistics (SolverStats.as_dict),
+    # including BDD node/cache counters — filled in on every return path.
+    stats: Optional[Dict[str, object]] = None
 
     @property
     def holds(self) -> bool:
@@ -115,6 +118,7 @@ def check_data_race_mso(
     except StateBudgetExceeded:
         verdict.status = "budget"
         verdict.elapsed = time.perf_counter() - t0
+        verdict.stats = solver.stats.as_dict(solver.registry.manager)
         return verdict
     for q1, q2 in _conflicting_block_pairs(model):
         if deadline is not None and time.perf_counter() > deadline:
@@ -142,6 +146,7 @@ def check_data_race_mso(
             )
             break
     verdict.elapsed = time.perf_counter() - t0
+    verdict.stats = solver.stats.as_dict(solver.registry.manager)
     return verdict
 
 
@@ -187,6 +192,7 @@ def check_conflict_mso(
     except StateBudgetExceeded:
         verdict.status = "budget"
         verdict.elapsed = time.perf_counter() - t0
+        verdict.stats = solver.stats.as_dict(solver.registry.manager)
         return verdict
     for q1, q2 in _conflicting_block_pairs(model_p):
         if verdict.found or verdict.status == "budget":
@@ -216,13 +222,17 @@ def check_conflict_mso(
                         continue
                     bm_a = model_q.table.block(qam)
                     bm_b = model_q.table.block(qbm)
-                    # The P-side and Q-side constraint systems share only
-                    # the tree shape and the endpoints x1/x2, so each side
-                    # is conjoined separately, projected down to its
-                    # {x1, x2} interface, and only the two (much smaller)
-                    # interface automata are intersected.
+                    # Eagerly, the P-side and Q-side constraint systems
+                    # share only the tree shape and the endpoints x1/x2,
+                    # so each side is conjoined separately, projected down
+                    # to its {x1, x2} interface, and only the two (much
+                    # smaller) interface automata are intersected.  The
+                    # lazy engine skips the interface trick: projection
+                    # never changes emptiness, so both sides go into one
+                    # implicit product explored directly under the
+                    # reached-state budget.
                     try:
-                        side_p = solver.automaton_conj(
+                        p_parts = (
                             [cores[0], cores[1], ord_p]
                             + enc_p.current_parts(ct1, qa, X1)
                             + enc_p.current_parts(ct2, qb, X2)
@@ -232,14 +242,19 @@ def check_conflict_mso(
                                 S.Sing(X2),
                             ]
                         )
-                        side_q = solver.automaton_conj(
+                        q_parts = (
                             [cores[2], cores[3], ord_q_rev]
                             + enc_q.current_parts(ct3, bm_a, X1)
                             + enc_q.current_parts(ct4, bm_b, X2)
                         )
-                        iface_p = _interface(side_p, (X1, X2))
-                        iface_q = _interface(side_q, (X1, X2))
-                        acc = solver.automaton_conj([iface_p, iface_q])
+                        if solver.lazy_products:
+                            acc = solver.automaton_conj(p_parts + q_parts)
+                        else:
+                            side_p = solver.automaton_conj(p_parts)
+                            side_q = solver.automaton_conj(q_parts)
+                            iface_p = _interface(side_p, (X1, X2))
+                            iface_q = _interface(side_q, (X1, X2))
+                            acc = solver.automaton_conj([iface_p, iface_q])
                         res = solver.sat_of(acc, exist_fo=(X1, X2))
                     except StateBudgetExceeded:
                         verdict.status = "budget"
@@ -257,4 +272,5 @@ def check_conflict_mso(
                         )
                         break
     verdict.elapsed = time.perf_counter() - t0
+    verdict.stats = solver.stats.as_dict(solver.registry.manager)
     return verdict

@@ -29,7 +29,7 @@ from ..automata.minimize import minimize, prune_unreachable
 from ..automata.tta import TrackRegistry, TreeAutomaton
 from . import syntax as S
 
-__all__ = ["Compiler", "freshen"]
+__all__ = ["Compiler", "freshen", "structural_key"]
 
 
 # ---------------------------------------------------------------------------
@@ -98,6 +98,28 @@ def freshen(f: S.Formula, counter: Optional[List[int]] = None, env=None) -> S.Fo
     raise TypeError(f"unknown formula {f!r}")
 
 
+def structural_key(f: S.Formula) -> str:
+    """Cache key invariant under the *global* freshening offsets.
+
+    ``freshen`` numbers bound variables with one counter per top-level
+    formula, so the same shared predicate (``Configuration``,
+    ``Consistent``, …) embedded in two different queries gets two
+    different bound-name suffixes — and a ``str``-keyed memo table
+    recompiles it from scratch for every query.  Re-freshening the
+    subformula with a *local* counter renames its bound variables by
+    traversal position, which depends only on the subformula's own
+    structure: alpha-variants that differ only in freshening offsets map
+    to one key, while free variables (including an enclosing
+    quantifier's freshened binders) stay verbatim.
+
+    Sharing across alpha-variants is sound because a compiled
+    automaton's tracks are exactly the formula's *free* variables —
+    quantifier compilation projects the bound tracks away — and the key
+    keeps free variables distinct.
+    """
+    return str(freshen(f))
+
+
 # ---------------------------------------------------------------------------
 # The compiler
 # ---------------------------------------------------------------------------
@@ -138,6 +160,22 @@ class Compiler:
         f = formula if already_fresh else freshen(formula)
         return self._compile(f)
 
+    def compile_product(self, formula: S.Formula, already_fresh: bool = False):
+        """Compile keeping a top-level conjunction *symbolic*.
+
+        Returns a :class:`~repro.automata.product.ProductAutomaton` of
+        the conjuncts' automata (each still compiled and minimized
+        eagerly) instead of multiplying them out, so emptiness can run
+        lazily on the implicit product.  Non-conjunctions compile as
+        usual.
+        """
+        from ..automata.product import ProductAutomaton
+
+        f = formula if already_fresh else freshen(formula)
+        if isinstance(f, S.And):
+            return ProductAutomaton([self._compile(p) for p in f.parts])
+        return self._compile(f)
+
     # -- guard helpers --------------------------------------------------------
     def _bit(self, name: str, value: bool = True) -> int:
         return self.registry.bit(name, value)
@@ -148,7 +186,7 @@ class Compiler:
 
     # -- main dispatch ------------------------------------------------------------
     def _compile(self, f: S.Formula) -> TreeAutomaton:
-        key = str(f)
+        key = structural_key(f)
         hit = self._cache.get(key)
         if hit is not None:
             return hit

@@ -1,5 +1,6 @@
 """The MONA-replacement solver front end."""
 
 from .solver import MSOSolver, SolveResult
+from .stats import SolverStats
 
-__all__ = ["MSOSolver", "SolveResult"]
+__all__ = ["MSOSolver", "SolveResult", "SolverStats"]

@@ -6,21 +6,39 @@ existentially quantified (their tracks stay free, so a witness directly
 shows the labelling — this is how counterexample configurations are
 decoded).  A state budget turns blow-ups into a clean ``budget`` status for
 the caller's engine-fallback logic.
+
+With ``lazy_products`` (the default) conjunctions are never multiplied
+out: ``automaton_conj`` returns an implicit
+:class:`~repro.automata.product.ProductAutomaton` of the compiled
+factors, and ``sat_of`` runs the emptiness fixpoint directly on it — the
+``product_budget`` then bounds *reached* product states rather than the
+size of a materialized product.  ``lazy_products=False`` restores the
+seed's eager pairwise-product pipeline (still used by differential
+tests).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..automata.determinize import StateBudgetExceeded
-from ..automata.emptiness import Witness, find_witness, is_empty
+from ..automata.emptiness import (
+    Witness,
+    find_witness,
+    is_empty,
+    witness_from_exploration,
+)
+from ..automata.product import ProductAutomaton
 from ..automata.tta import TrackRegistry, TreeAutomaton
 from ..mso import syntax as S
 from ..mso.compile import Compiler
+from .stats import SolverStats
 
 __all__ = ["MSOSolver", "SolveResult"]
+
+Automaton = Union[TreeAutomaton, ProductAutomaton]
 
 
 @dataclass
@@ -29,7 +47,10 @@ class SolveResult:
     witness: Optional[Witness] = None
     elapsed: float = 0.0
     automaton_states: int = 0
+    reached_states: int = 0
+    budget: Optional[int] = None
     compile_stats: Optional[object] = None
+    stats: Optional[SolverStats] = None
 
     @property
     def is_sat(self) -> bool:
@@ -40,10 +61,24 @@ class SolveResult:
         return self.status == "unsat"
 
     def __str__(self) -> str:
-        return (
-            f"[mso] {self.status} ({self.automaton_states} states, "
-            f"{self.elapsed:.3f}s)"
-        )
+        if self.status == "budget":
+            detail = (
+                f"exceeded {self.budget} states"
+                if self.budget is not None
+                else "state budget exceeded"
+            )
+        else:
+            states = self.reached_states or self.automaton_states
+            detail = f"{states} states reached"
+            if self.budget is not None:
+                detail += f"/{self.budget} budget"
+            if self.status == "sat":
+                detail += (
+                    f", witness {self.witness.tree.size} nodes"
+                    if self.witness is not None
+                    else ", no witness requested"
+                )
+        return f"[mso] {self.status} ({detail}, {self.elapsed:.3f}s)"
 
 
 class MSOSolver:
@@ -55,6 +90,7 @@ class MSOSolver:
         minimize_always: bool = True,
         det_budget: int = 200_000,
         product_budget: int = 3_000,
+        lazy_products: bool = True,
     ) -> None:
         self.compiler = Compiler(
             registry=registry,
@@ -63,13 +99,16 @@ class MSOSolver:
         )
         # Conjunction products beyond this state count raise
         # StateBudgetExceeded so callers can fall back to the bounded
-        # engine instead of grinding (pure-Python products are O(n^2)).
+        # engine instead of grinding.  Lazily it bounds *reached* product
+        # states; eagerly, materialized ones.
         self.product_budget = product_budget
+        self.lazy_products = lazy_products
         # Optional wall-clock deadline (time.perf_counter() value); when
-        # exceeded mid-conjunction, StateBudgetExceeded is raised so the
+        # exceeded mid-query, StateBudgetExceeded is raised so the
         # caller's fallback logic runs rather than a query overshooting.
         self.deadline: Optional[float] = None
-        self._conj_cache: Dict[str, TreeAutomaton] = {}
+        self.stats = SolverStats(budget=product_budget)
+        self._conj_cache: Dict[str, Automaton] = {}
 
     @property
     def registry(self) -> TrackRegistry:
@@ -77,49 +116,69 @@ class MSOSolver:
 
     def compile(self, formula: S.Formula) -> TreeAutomaton:
         self.compiler.deadline = self.deadline
-        return self.compiler.compile(formula)
+        with self.stats.phase("compile"):
+            return self.compiler.compile(formula)
 
     def satisfiable(self, formula: S.Formula, want_witness: bool = True) -> SolveResult:
         """Is there a tree + labelling of the free variables satisfying the
         formula?"""
         t0 = time.perf_counter()
+        self.compiler.deadline = self.deadline
         try:
-            a = self.compiler.compile(formula)
+            with self.stats.phase("compile"):
+                if self.lazy_products:
+                    a = self.compiler.compile_product(formula)
+                else:
+                    a = self.compiler.compile(formula)
+            res = self.sat_of(a, want_witness=want_witness)
         except StateBudgetExceeded:
             return SolveResult(
                 status="budget",
                 elapsed=time.perf_counter() - t0,
+                budget=self.product_budget,
                 compile_stats=self.compiler.stats,
+                stats=self.stats,
             )
-        if want_witness:
-            w = find_witness(a)
-            status = "sat" if w is not None else "unsat"
-        else:
-            w = None
-            status = "unsat" if is_empty(a) else "sat"
-        return SolveResult(
-            status=status,
-            witness=w,
-            elapsed=time.perf_counter() - t0,
-            automaton_states=a.n_states,
-            compile_stats=self.compiler.stats,
-        )
+        res.elapsed = time.perf_counter() - t0
+        return res
 
-    def automaton_conj(self, parts, cache_key: Optional[str] = None) -> TreeAutomaton:
-        """Product automaton of a conjunction of formulas, minimized along
-        the way.  With ``cache_key`` the result is cached for reuse across
-        queries (e.g. the q-independent ``Configuration`` core)."""
+    def automaton_conj(self, parts, cache_key: Optional[str] = None) -> Automaton:
+        """Conjunction of formulas/automata, ready for emptiness.
+
+        Lazily (the default): compiles each part and returns the implicit
+        :class:`ProductAutomaton` — no product state is built until an
+        emptiness query explores it.  Eagerly: the seed's pairwise
+        product pipeline, minimized along the way.  With ``cache_key``
+        the result is cached for reuse across queries (e.g. the
+        q-independent ``Configuration`` core)."""
         from ..automata.minimize import minimize, prune_unreachable, reduce_nfta
 
         if cache_key is not None:
             cached = self._conj_cache.get(cache_key)
             if cached is not None:
+                self.stats.conj_cache_hits += 1
                 return cached
+            self.stats.conj_cache_misses += 1
         self.compiler.deadline = self.deadline
-        autos = [
-            p if isinstance(p, TreeAutomaton) else self.compiler.compile(p)
-            for p in parts
-        ]
+        with self.stats.phase("compile"):
+            autos = [
+                p
+                if isinstance(p, (TreeAutomaton, ProductAutomaton))
+                else self.compiler.compile(p)
+                for p in parts
+            ]
+        if self.lazy_products:
+            acc: Automaton = ProductAutomaton(autos, merge_deadline=self.deadline)
+            # An unsatisfiable factor decides the whole conjunction;
+            # keeping just that factor lets exploration finish instantly
+            # instead of saturating the other factors' product.
+            for f in acc.factors:
+                if not f.accepting:
+                    acc = ProductAutomaton([f])
+                    break
+            if cache_key is not None:
+                self._conj_cache[cache_key] = acc
+            return acc
         autos.sort(key=lambda a: a.n_states)
         acc = autos[0]
         for nxt in autos[1:]:
@@ -147,28 +206,67 @@ class MSOSolver:
             self._conj_cache[cache_key] = acc
         return acc
 
-    def sat_of(self, automaton: TreeAutomaton, exist_fo=(), want_witness=True) -> SolveResult:
+    def sat_of(self, automaton: Automaton, exist_fo=(), want_witness=True) -> SolveResult:
         """Emptiness/witness of a pre-built automaton, after projecting the
         given first-order variables (their Sing constraints must already be
         part of the automaton)."""
         from ..automata.minimize import prune_unreachable
 
         t0 = time.perf_counter()
+        if isinstance(automaton, ProductAutomaton):
+            # Projection never changes emptiness, so the implicit product
+            # is explored as-is; the projected tracks are simply dropped
+            # from the witness labelling afterwards.
+            with self.stats.phase("explore"):
+                exp = automaton.explore(
+                    max_states=self.product_budget, deadline=self.deadline
+                )
+            self.stats.note_exploration(exp.reached)
+            w = None
+            if exp.target is None:
+                status = "unsat"
+            else:
+                status = "sat"
+                if want_witness:
+                    with self.stats.phase("witness"):
+                        w = witness_from_exploration(automaton, exp)
+                        if exist_fo:
+                            drop = frozenset(exist_fo)
+                            w.labels = {
+                                t: s for t, s in w.labels.items()
+                                if t not in drop
+                            }
+            return SolveResult(
+                status=status,
+                witness=w,
+                elapsed=time.perf_counter() - t0,
+                automaton_states=exp.reached,
+                reached_states=exp.reached,
+                budget=self.product_budget,
+                compile_stats=self.compiler.stats,
+                stats=self.stats,
+            )
         acc = automaton
         if exist_fo and acc.accepting:
             acc = prune_unreachable(acc.projected(exist_fo))
         if want_witness:
-            w = find_witness(acc)
+            with self.stats.phase("explore"):
+                w = find_witness(acc, deadline=self.deadline)
             status = "sat" if w is not None else "unsat"
         else:
             w = None
-            status = "unsat" if is_empty(acc) else "sat"
+            with self.stats.phase("explore"):
+                status = "unsat" if is_empty(acc, deadline=self.deadline) else "sat"
+        self.stats.note_exploration(acc.n_states)
         return SolveResult(
             status=status,
             witness=w,
             elapsed=time.perf_counter() - t0,
             automaton_states=acc.n_states,
+            reached_states=acc.n_states,
+            budget=self.product_budget,
             compile_stats=self.compiler.stats,
+            stats=self.stats,
         )
 
     def satisfiable_conj(
@@ -185,8 +283,6 @@ class MSOSolver:
         variables occurring free in the parts to bind existentially at the
         top (their singleton constraint is conjoined, then their tracks are
         projected away)."""
-        from ..automata.minimize import minimize, prune_unreachable
-
         t0 = time.perf_counter()
         try:
             all_parts = list(parts) + [S.Sing(v) for v in exist_fo]
@@ -196,7 +292,9 @@ class MSOSolver:
             return SolveResult(
                 status="budget",
                 elapsed=time.perf_counter() - t0,
+                budget=self.product_budget,
                 compile_stats=self.compiler.stats,
+                stats=self.stats,
             )
         res.elapsed = time.perf_counter() - t0
         return res

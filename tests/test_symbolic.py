@@ -61,7 +61,7 @@ class TestBudgets:
             sizecount.sequential_program(),
             sizecount.fused_valid(),
             sizecount.fusion_correspondence(),
-            solver=MSOSolver(product_budget=200),
+            solver=MSOSolver(product_budget=5),
         )
         assert v.status == "budget"
 
