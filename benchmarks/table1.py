@@ -75,7 +75,9 @@ def run_mso(task, deadline_s=120.0):
         )
         good, bad = "valid", "counterexample"
     if v.status != "decided":
-        return "budget", time.perf_counter() - t0, v
+        # Pass the guard's diagnosis through: "deadline" / "budget" /
+        # "memory" are distinct outcomes in the table.
+        return v.status, time.perf_counter() - t0, v
     return (bad if v.found else good), v.elapsed, v
 
 
@@ -85,7 +87,7 @@ def main() -> int:
                     help="bounded-engine scope (max internal nodes)")
     ap.add_argument("--mso", action="store_true",
                     help="also run the symbolic engine (race queries; "
-                         "conflict queries report 'budget')")
+                         "overruns report 'deadline'/'budget'/'memory')")
     ap.add_argument("--mso-deadline", type=float, default=120.0)
     ap.add_argument("--json", metavar="OUT", default=None,
                     help="also dump verdicts, engines, and per-phase "

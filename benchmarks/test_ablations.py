@@ -58,7 +58,7 @@ def test_compile_without_minimization(benchmark):
     time-to-give-up."""
     import time
 
-    from repro.automata.determinize import StateBudgetExceeded
+    from repro.runtime import ResourceExhausted
 
     f = _config_core_formula()
 
@@ -67,7 +67,7 @@ def test_compile_without_minimization(benchmark):
         c.deadline = time.perf_counter() + 15
         try:
             return c.compile(f)
-        except StateBudgetExceeded:
+        except ResourceExhausted:
             return None
 
     a = benchmark.pedantic(go, rounds=1, iterations=1)

@@ -20,6 +20,15 @@ See ``examples/`` for full scenarios and DESIGN.md for the architecture.
 """
 
 from .core.api import VerificationResult, check_data_race, check_equivalence
+from .runtime import (
+    DeadlineExceeded,
+    MemoryCeilingExceeded,
+    ReproError,
+    ResourceExhausted,
+    ResourceGuard,
+    SolverInternalError,
+    StateBudgetExceeded,
+)
 from .core.transform import (
     correspondence_by_key,
     parallelize_entry,
@@ -37,6 +46,13 @@ __all__ = [
     "VerificationResult",
     "check_data_race",
     "check_equivalence",
+    "ResourceGuard",
+    "ReproError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "StateBudgetExceeded",
+    "MemoryCeilingExceeded",
+    "SolverInternalError",
     "correspondence_by_key",
     "parallelize_entry",
     "sequentialize_entry",

@@ -2,15 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..runtime import ResourceGuard, as_guard
+
+# Re-exported for backward compatibility: the seed pipeline defined
+# ``StateBudgetExceeded`` here, and tests/solver code import it from this
+# module.  The class now lives in the runtime taxonomy.
+from ..runtime import StateBudgetExceeded
 from .tta import TreeAutomaton, split_guards
 
-__all__ = ["determinize"]
+__all__ = ["determinize", "StateBudgetExceeded"]
 
 
 def determinize(
-    a: TreeAutomaton, max_states: int = 200_000, deadline=None
+    a: TreeAutomaton,
+    max_states: int = 200_000,
+    deadline=None,
+    guard: Optional[ResourceGuard] = None,
 ) -> TreeAutomaton:
     """Equivalent deterministic, complete automaton (subset construction).
 
@@ -18,7 +27,10 @@ def determinize(
     space, so the result is complete by construction (the empty subset acts
     as the sink).  ``max_states`` bounds the blow-up; exceeding it raises
     ``StateBudgetExceeded`` so callers can fall back to the bounded engine.
+    A :class:`~repro.runtime.ResourceGuard` (or a legacy ``deadline``
+    float) cancels the construction with ``DeadlineExceeded`` on expiry.
     """
+    guard = as_guard(guard, deadline)
     mgr = a.manager
     index: Dict[FrozenSet[int], int] = {}
     order: List[FrozenSet[int]] = []
@@ -27,7 +39,9 @@ def determinize(
         if s not in index:
             if len(index) >= max_states:
                 raise StateBudgetExceeded(
-                    f"determinization exceeded {max_states} states"
+                    f"determinization exceeded {max_states} states",
+                    phase="determinize",
+                    counters={"states": len(index)},
                 )
             index[s] = len(index)
             order.append(s)
@@ -42,17 +56,16 @@ def determinize(
     while changed:
         changed = False
         current = list(order)
-        if deadline is not None:
-            import time
-
-            if time.perf_counter() > deadline:
-                raise StateBudgetExceeded("determinization deadline exceeded")
+        if guard is not None:
+            guard.check_now("determinize")
         for sl in current:
             for sr in current:
                 key = (index[sl], index[sr])
                 if key in done:
                     continue
                 done.add(key)
+                if guard is not None:
+                    guard.tick("determinize")
                 pairs = []
                 for ql in sl:
                     for qr in sr:
@@ -79,7 +92,3 @@ def determinize(
         deterministic=True,
         complete=True,
     )
-
-
-class StateBudgetExceeded(RuntimeError):
-    """Raised when a construction exceeds its state budget."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Union
 
+from ..runtime import ResourceGuard
 from ..trees.heap import Tree, TreeNode, nil, node
 from .product import Exploration, ProductAutomaton
 from .tta import TreeAutomaton
@@ -54,9 +55,12 @@ def is_empty(
     a: Automaton,
     max_states: Optional[int] = None,
     deadline: Optional[float] = None,
+    guard: Optional[ResourceGuard] = None,
 ) -> bool:
     """True iff the automaton accepts no labelled tree."""
-    exp = _as_product(a).explore(max_states=max_states, deadline=deadline)
+    exp = _as_product(a).explore(
+        max_states=max_states, deadline=deadline, guard=guard
+    )
     return exp.empty
 
 
@@ -64,10 +68,11 @@ def find_witness(
     a: Automaton,
     max_states: Optional[int] = None,
     deadline: Optional[float] = None,
+    guard: Optional[ResourceGuard] = None,
 ) -> Optional[Witness]:
     """A smallest-ish accepted labelled tree, or None when empty."""
     prod = _as_product(a)
-    exp = prod.explore(max_states=max_states, deadline=deadline)
+    exp = prod.explore(max_states=max_states, deadline=deadline, guard=guard)
     return witness_from_exploration(prod, exp)
 
 

@@ -14,8 +14,9 @@ states are pruned.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..runtime import ResourceGuard, as_guard
 from .tta import TreeAutomaton
 
 __all__ = ["minimize", "prune_dead", "prune_unreachable", "reduce_nfta"]
@@ -114,13 +115,19 @@ def prune_dead(a: TreeAutomaton) -> TreeAutomaton:
     )
 
 
-def reduce_nfta(a: TreeAutomaton, max_rounds: int = 50, deadline=None) -> TreeAutomaton:
+def reduce_nfta(
+    a: TreeAutomaton,
+    max_rounds: int = 50,
+    deadline=None,
+    guard: Optional[ResourceGuard] = None,
+) -> TreeAutomaton:
     """Bisimulation-based state reduction for nondeterministic automata.
 
     Merges states with identical acceptance and identical class-level
     transition behaviour (as left and right child).  Sound for NFTAs —
     merged states are forward-bisimilar, so the language is unchanged —
     but not necessarily minimal (NFTA minimization is PSPACE-hard)."""
+    guard = as_guard(guard, deadline)
     a = prune_unreachable(a)
     mgr = a.manager
     n = a.n_states
@@ -137,13 +144,8 @@ def reduce_nfta(a: TreeAutomaton, max_rounds: int = 50, deadline=None) -> TreeAu
         leaf_by_state.setdefault(q, []).append(g)
 
     for _ in range(max_rounds):
-        if deadline is not None:
-            import time
-
-            if time.perf_counter() > deadline:
-                from .determinize import StateBudgetExceeded
-
-                raise StateBudgetExceeded("reduction deadline exceeded")
+        if guard is not None:
+            guard.check_now("reduce")
         canon: Dict[Tuple[int, int], Tuple] = {}
         for key, entries in a.delta.items():
             merged: Dict[int, int] = {}
@@ -200,10 +202,13 @@ def reduce_nfta(a: TreeAutomaton, max_rounds: int = 50, deadline=None) -> TreeAu
     )
 
 
-def minimize(a: TreeAutomaton, deadline=None) -> TreeAutomaton:
+def minimize(
+    a: TreeAutomaton, deadline=None, guard: Optional[ResourceGuard] = None
+) -> TreeAutomaton:
     """Minimize a deterministic (preferably complete) tree automaton."""
     if not a.deterministic:
         raise ValueError("minimize requires a deterministic automaton")
+    guard = as_guard(guard, deadline)
     a = prune_unreachable(a)
     mgr = a.manager
     n = a.n_states
@@ -220,13 +225,8 @@ def minimize(a: TreeAutomaton, deadline=None) -> TreeAutomaton:
         by_right[qr].append((ql, entries))
 
     while True:
-        if deadline is not None:
-            import time
-
-            if time.perf_counter() > deadline:
-                from .determinize import StateBudgetExceeded
-
-                raise StateBudgetExceeded("minimization deadline exceeded")
+        if guard is not None:
+            guard.check_now("minimize")
         # Canonical class-level transition map per delta entry, computed
         # once per refinement round.
         canon: Dict[Tuple[int, int], Tuple] = {}

@@ -24,16 +24,27 @@ the materialized product.
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..runtime import (
+    ResourceExhausted,
+    ResourceGuard,
+    StateBudgetExceeded,
+    as_guard,
+)
+from ..runtime import faults as _faults
 from .tta import TreeAutomaton
 
 __all__ = ["ProductAutomaton", "Exploration"]
 
 
-def _merge_small_factors(factors, limit: int, deadline: Optional[float] = None):
+def _merge_small_factors(
+    factors,
+    limit: int,
+    deadline: Optional[float] = None,
+    guard: Optional[ResourceGuard] = None,
+):
     """Greedily fold factor pairs whose product stays tiny.
 
     Dozens of 1–4-state atom automata dominate a query's conjunction;
@@ -50,18 +61,18 @@ def _merge_small_factors(factors, limit: int, deadline: Optional[float] = None):
     *full* product fits the cap (independent automata don't compress —
     their minimal conjunction is the whole product), and each attempt
     materializes at most ``4 * limit`` states before giving up.  Merging
-    is best-effort: when the deadline passes, the remaining factors are
-    returned unmerged rather than raising — exploration enforces its own
-    deadline.
+    is best-effort: when the deadline (or any other guard limit) trips,
+    the remaining factors are returned unmerged rather than raising —
+    exploration enforces its own limits.
     """
-    from .determinize import StateBudgetExceeded
     from .minimize import minimize, prune_dead, reduce_nfta
 
+    guard = as_guard(guard, deadline)
     attempt_cap = max(4 * limit, 64)
     pool = sorted(factors, key=lambda a: a.n_states)
     done: List[TreeAutomaton] = []
     while len(pool) > 1:
-        if deadline is not None and time.perf_counter() > deadline:
+        if guard is not None and guard.expired():
             return done + pool
         head = pool.pop(0)
         merged = None
@@ -78,15 +89,18 @@ def _merge_small_factors(factors, limit: int, deadline: Optional[float] = None):
                     cand,
                     lambda x, y: x and y,
                     max_states=attempt_cap,
-                    deadline=deadline,
+                    guard=guard,
                 )
                 prod = prune_dead(prod)
                 if prod.deterministic:
-                    prod = minimize(prod, deadline=deadline)
+                    prod = minimize(prod, guard=guard)
                 else:
-                    prod = reduce_nfta(prod, deadline=deadline)
+                    prod = reduce_nfta(prod, guard=guard)
             except StateBudgetExceeded:
                 continue
+            except ResourceExhausted:
+                # Deadline/memory: no point trying further pairs.
+                return done + [head] + pool
             if prod.n_states <= limit:
                 merged = prod
                 pool.pop(j)
@@ -138,6 +152,7 @@ class ProductAutomaton:
         factors: Sequence,
         merge_limit: Optional[int] = None,
         merge_deadline: Optional[float] = None,
+        guard: Optional[ResourceGuard] = None,
     ) -> None:
         from .minimize import prune_dead
 
@@ -158,7 +173,9 @@ class ProductAutomaton:
             assert f.registry is registry, "factors must share a registry"
         limit = self.MERGE_LIMIT if merge_limit is None else merge_limit
         if limit and len(flat) > 1:
-            flat = _merge_small_factors(flat, limit, deadline=merge_deadline)
+            flat = _merge_small_factors(
+                flat, limit, deadline=merge_deadline, guard=guard
+            )
         self.factors: List[TreeAutomaton] = flat
         self.registry = registry
         # Exploration order: smallest factor state sets first, so the
@@ -246,21 +263,22 @@ class ProductAutomaton:
         max_states: Optional[int] = None,
         deadline: Optional[float] = None,
         stop_on_accepting: bool = True,
+        guard: Optional[ResourceGuard] = None,
     ) -> Exploration:
         """Bottom-up reachability fixpoint on the implicit product.
 
         Discovers tuple states from the factors' leaf transitions and
         closes under the synchronized delta, recording one witness cube
         and child pointers per tuple (for witness-tree extraction).
-        Raises :class:`~repro.automata.determinize.StateBudgetExceeded`
-        when more than ``max_states`` tuples are constructed or the
-        ``deadline`` (``time.perf_counter()`` value) passes.  With
-        ``stop_on_accepting`` the search returns as soon as an accepting
-        tuple is found (sufficient for emptiness/witness queries); the
-        returned exploration is then marked incomplete.
+        Raises :class:`~repro.runtime.StateBudgetExceeded` when more than
+        ``max_states`` tuples are constructed, and
+        :class:`~repro.runtime.DeadlineExceeded` when the ``deadline``
+        (``time.perf_counter()`` value) or the guard's deadline passes.
+        With ``stop_on_accepting`` the search returns as soon as an
+        accepting tuple is found (sufficient for emptiness/witness
+        queries); the returned exploration is then marked incomplete.
         """
-        from .determinize import StateBudgetExceeded
-
+        rg = as_guard(guard, deadline)
         mgr = self.manager
         factors = self.factors
         order = self._order
@@ -284,16 +302,22 @@ class ProductAutomaton:
         def discover(t: tuple, guard: int, lt, rt) -> bool:
             """Record a newly reached tuple; True when it is accepting."""
             nonlocal counter, target
+            if _faults.ARMED:
+                t = _faults.fire("product.expand", t)
             if t in table:
                 return False
             if max_states is not None and len(table) >= max_states:
                 raise StateBudgetExceeded(
-                    f"lazy product exceeded {max_states} reached states"
+                    f"lazy product exceeded {max_states} reached states",
+                    phase="product.explore",
+                    counters={"reached": len(table)},
                 )
             cube = mgr.pick_cube(guard)
             if cube is None:  # unsatisfiable guard — not a real transition
                 return False
             table[t] = (cube, lt, rt)
+            if rg is not None:
+                rg.charge_states(1, "product.explore")
             counter += 1
             heapq.heappush(frontier, (distance(t), counter, t))
             if target is None and self.accepting_tuple(t):
@@ -305,11 +329,8 @@ class ProductAutomaton:
 
         def tick() -> None:
             ticks[0] += 1
-            if deadline is not None and ticks[0] % 4096 == 0:
-                if time.perf_counter() > deadline:
-                    raise StateBudgetExceeded(
-                        "lazy product deadline exceeded"
-                    )
+            if rg is not None and ticks[0] % 4096 == 0:
+                rg.check_now("product.explore")
 
         def combos(entry_lists: List):
             """Yield satisfiable guard-conjunctions across the factors.
@@ -359,6 +380,8 @@ class ProductAutomaton:
 
         while frontier:
             _, _, t = heapq.heappop(frontier)
+            if _faults.ARMED:
+                t = _faults.fire("emptiness.fixpoint", t)
             processed.append(t)
             for u in processed:
                 tick()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..bdd.bdd import BDDManager
+from ..runtime import ResourceGuard, StateBudgetExceeded, as_guard
 from ..trees.heap import Tree, TreeNode
 
 __all__ = ["TreeAutomaton", "TrackRegistry", "split_guards"]
@@ -118,14 +119,17 @@ class TreeAutomaton:
         acc: Callable[[bool, bool], bool],
         max_states: Optional[int] = None,
         deadline: Optional[float] = None,
+        guard: Optional[ResourceGuard] = None,
     ) -> "TreeAutomaton":
         """Synchronized product with acceptance combiner ``acc``.
 
         Sound for conjunction on arbitrary automata; for disjunction both
         sides must be complete (use :meth:`completed`).  Only reachable
-        product states are built.
+        product states are built.  A guard (or legacy ``deadline`` float)
+        cancels the construction with ``DeadlineExceeded`` on expiry.
         """
         assert self.registry is other.registry
+        guard = as_guard(guard, deadline)
         mgr = self.manager
         index: Dict[Tuple[int, int], int] = {}
         leaf: Trans = []
@@ -134,10 +138,10 @@ class TreeAutomaton:
         def state(pair: Tuple[int, int]) -> int:
             if pair not in index:
                 if max_states is not None and len(index) >= max_states:
-                    from .determinize import StateBudgetExceeded
-
                     raise StateBudgetExceeded(
-                        f"product exceeded {max_states} states"
+                        f"product exceeded {max_states} states",
+                        phase="automata.product",
+                        counters={"states": len(index)},
                     )
                 index[pair] = len(index)
             return index[pair]
@@ -169,21 +173,14 @@ class TreeAutomaton:
                 delta[key] = entries
 
         processed: List[Tuple[int, int]] = []
-        ticks = 0
         while frontier:
             pair = frontier.pop()
             processed.append(pair)
             # Expand against every already-processed pair (both sides),
             # including itself.
             for peer in processed:
-                ticks += 1
-                if deadline is not None and ticks % 512 == 0:
-                    import time
-
-                    if time.perf_counter() > deadline:
-                        from .determinize import StateBudgetExceeded
-
-                        raise StateBudgetExceeded("product deadline exceeded")
+                if guard is not None:
+                    guard.tick("automata.product")
                 expand(pair, peer)
                 if peer != pair:
                     expand(peer, pair)
@@ -265,11 +262,17 @@ class TreeAutomaton:
             complete=True,
         )
 
-    def complemented(self, deadline=None) -> "TreeAutomaton":
+    def complemented(
+        self, deadline=None, guard: Optional[ResourceGuard] = None
+    ) -> "TreeAutomaton":
         """Complement; determinizes and completes first when needed."""
         from .determinize import determinize
 
-        det = self if self.deterministic else determinize(self, deadline=deadline)
+        det = (
+            self
+            if self.deterministic
+            else determinize(self, deadline=deadline, guard=guard)
+        )
         det = det.completed()
         return TreeAutomaton(
             registry=det.registry,

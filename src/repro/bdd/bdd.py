@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..runtime import faults as _faults
+
 __all__ = ["BDDManager"]
 
 FALSE = 0
@@ -48,6 +50,9 @@ class BDDManager:
         self._op_cache: Dict[Tuple, int] = {}
         self._op_hits = 0
         self._op_misses = 0
+        # Optional ResourceGuard (set via guard.bind_manager): enforces
+        # the BDD-node ceiling and the deadline from inside allocation.
+        self.guard = None
 
     # -- node plumbing ---------------------------------------------------------
     def _mk(self, level: int, lo: int, hi: int) -> int:
@@ -59,6 +64,11 @@ class BDDManager:
             idx = len(self._nodes)
             self._nodes.append(key)
             self._unique[key] = idx
+            # Probe the guard every 256 allocations: cheap enough to sit
+            # on the allocation path, frequent enough that a node ceiling
+            # or deadline trips within a bounded amount of extra work.
+            if self.guard is not None and not (idx & 255):
+                self.guard.note_nodes(idx + 1)
         return idx
 
     def level(self, u: int) -> int:
@@ -138,6 +148,8 @@ class BDDManager:
             lvl = lv
         r = self._mk(lvl, lo, hi)
         self._op_cache[key] = r
+        if _faults.ARMED:
+            r = _faults.fire("bdd.apply", r)
         return r
 
     def apply_or(self, u: int, v: int) -> int:
@@ -173,6 +185,8 @@ class BDDManager:
             lvl = lv
         r = self._mk(lvl, lo, hi)
         self._op_cache[key] = r
+        if _faults.ARMED:
+            r = _faults.fire("bdd.apply", r)
         return r
 
     def apply_not(self, u: int) -> int:

@@ -10,6 +10,11 @@ Commands:
 * ``run FILE`` — execute a program on a generated tree and print the
   result;
 * ``blocks FILE`` — print the numbered block table (the paper's s0..sn).
+
+The check commands exit 0 when the property holds, 1 on a
+counterexample, and 3 when every engine rung exhausted its resource
+limits (``verdict="unknown"``); ``--deadline``, ``--det-budget`` and
+``--max-internal`` tune those limits.
 """
 
 from __future__ import annotations
@@ -51,16 +56,38 @@ def main(argv=None) -> int:
     ap.add_argument("--entry", default="Main", help="entry function name")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
+    def add_resource_flags(parser):
+        parser.add_argument(
+            "--deadline",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock deadline for the symbolic engine",
+        )
+        parser.add_argument(
+            "--det-budget",
+            type=int,
+            metavar="STATES",
+            help="determinization state budget for the symbolic engine",
+        )
+        parser.add_argument(
+            "--max-internal",
+            type=int,
+            metavar="N",
+            help="bounded-engine scope: trees with up to N internal nodes",
+        )
+
     p_race = sub.add_parser("check-race", help="data-race-freeness (Thm 2)")
     p_race.add_argument("file")
     p_race.add_argument("--engine", default="auto",
                         choices=["auto", "mso", "bounded"])
+    add_resource_flags(p_race)
 
     p_fuse = sub.add_parser("check-fusion", help="equivalence (Thm 3)")
     p_fuse.add_argument("original")
     p_fuse.add_argument("fused")
     p_fuse.add_argument("--engine", default="auto",
                         choices=["auto", "mso", "bounded"])
+    add_resource_flags(p_fuse)
     p_fuse.add_argument(
         "--map",
         action="append",
@@ -80,13 +107,38 @@ def main(argv=None) -> int:
 
     args = ap.parse_args(argv)
 
-    if args.cmd == "check-race":
-        prog = _load(args.file, args.entry)
-        res = check_data_race(prog, engine=args.engine)
+    def resource_kwargs():
+        # Only forward flags the user actually set: the two commands have
+        # different deadline defaults (600s race / 60s fusion).
+        kw = {}
+        if args.deadline is not None:
+            kw["mso_deadline_s"] = args.deadline
+        if args.det_budget is not None:
+            kw["det_budget"] = args.det_budget
+        if args.max_internal is not None:
+            kw["max_internal"] = args.max_internal
+        return kw
+
+    def report(res) -> int:
         print(res)
         if res.replay is not None:
             print(f"  replay: {res.replay.detail}")
+        if res.verdict == "unknown":
+            for a in res.details.get("attempts", ()):
+                print(
+                    f"  attempt {a['rung']}: {a['outcome']} "
+                    f"({a['elapsed']:.3f}s)",
+                    file=sys.stderr,
+                )
+            print("  verdict is unknown: all engine rungs exhausted their "
+                  "resource limits", file=sys.stderr)
+            return 3
         return 0 if res.holds else 1
+
+    if args.cmd == "check-race":
+        prog = _load(args.file, args.entry)
+        res = check_data_race(prog, engine=args.engine, **resource_kwargs())
+        return report(res)
 
     if args.cmd == "check-fusion":
         p = _load(args.original, args.entry)
@@ -94,11 +146,10 @@ def main(argv=None) -> int:
         mapping = correspondence_by_key(
             p, q, overrides=_parse_map(args.map), strict=True
         )
-        res = check_equivalence(p, q, mapping, engine=args.engine)
-        print(res)
-        if res.replay is not None:
-            print(f"  replay: {res.replay.detail}")
-        return 0 if res.holds else 1
+        res = check_equivalence(
+            p, q, mapping, engine=args.engine, **resource_kwargs()
+        )
+        return report(res)
 
     if args.cmd == "run":
         prog = _load(args.file, args.entry)

@@ -6,22 +6,36 @@
   pipeline, deciding over all trees;
 * the **bounded engine** (``engine="bounded"``) — exhaustive on every tree
   shape up to a bound;
-* ``engine="auto"`` — symbolic with a state/time budget, falling back to
-  bounded on exhaustion (the result records which engine decided).
+* ``engine="auto"`` — a **degradation ladder** (DESIGN.md §7): the lazy
+  symbolic engine under a :class:`~repro.runtime.ResourceGuard`, one
+  retry with escalated budgets when only the state budget was exhausted
+  (wall clock permitting), then the bounded checker, shrinking its scope
+  whenever a rung overruns its own limits.  Every rung attempted is
+  recorded in ``details["attempts"]`` and ``details["decided_by"]`` names
+  the rung whose answer is reported.
 
-Counterexamples are automatically replayed against the concrete interpreter
-(:mod:`repro.core.witness`), automating the paper's manual true-positive
-check.
+A query no rung could decide returns ``verdict="unknown"`` with
+``holds=False`` — never a silent ``race-free``/``equivalent``.
+Counterexamples are automatically replayed against the concrete
+interpreter (:mod:`repro.core.witness`), automating the paper's manual
+true-positive check.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Set
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..lang import ast as A
 from ..lang.validate import validate
+from ..runtime import (
+    ResourceExhausted,
+    ResourceGuard,
+    SolverInternalError,
+    exhaustion_status,
+)
+from ..solver.solver import MSOSolver
 from ..trees.heap import Tree
 from .bisim import check_bisimulation
 from .bounded import BoundedVerdict, check_conflict_bounded, check_data_race_bounded
@@ -30,14 +44,25 @@ from .witness import ReplayOutcome, replay_conflict, replay_race
 
 __all__ = ["VerificationResult", "check_data_race", "check_equivalence"]
 
+# One retry rung multiplies the symbolic budgets by this factor.
+LADDER_ESCALATION = 4
+# Skip the retry rung when less wall-clock than this remains; the
+# escalated run would only burn the bounded engine's time.
+_MIN_RETRY_S = 1.0
+
 
 @dataclass
 class VerificationResult:
-    """Uniform result of a verification query."""
+    """Uniform result of a verification query.
+
+    ``details["attempts"]`` lists every ladder rung that ran (rung name,
+    engine, limits, outcome, elapsed); ``details["decided_by"]`` names
+    the rung whose verdict is reported (``None`` when ``unknown``).
+    """
 
     query: str
     verdict: str  # "race-free"|"race"|"equivalent"|"not-equivalent"|"unknown"
-    engine: str  # "mso" | "bounded" | "mso+bounded"
+    engine: str  # "mso" | "bounded" | "mso+bounded" | "bisim"
     elapsed: float
     holds: bool
     witness: Optional[object] = None
@@ -49,6 +74,9 @@ class VerificationResult:
         extra = ""
         if self.replay is not None:
             extra = f"; replay: {'confirmed' if self.replay.confirmed else 'unconfirmed'}"
+        decided_by = self.details.get("decided_by")
+        if decided_by and decided_by != self.engine:
+            extra += f"; decided by {decided_by}"
         return (
             f"{self.query}: {self.verdict} "
             f"[{self.engine}, {self.elapsed:.3f}s]{extra}"
@@ -70,50 +98,259 @@ def _program_fields(program: A.Program) -> list:
     return sorted(fields)
 
 
+# ----------------------------------------------------------------------
+# Degradation ladder
+
+
+def _record_attempt(
+    attempts: List[Dict[str, object]],
+    rung: str,
+    engine: str,
+    limits: Dict[str, object],
+    outcome: str,
+    t0: float,
+    note: Optional[str] = None,
+) -> None:
+    entry: Dict[str, object] = {
+        "rung": rung,
+        "engine": engine,
+        "limits": limits,
+        "outcome": outcome,
+        "elapsed": round(time.perf_counter() - t0, 6),
+    }
+    if note is not None:
+        entry["note"] = note
+    attempts.append(entry)
+
+
+def _symbolic_ladder(
+    run_sym: Callable[[MSOSolver, ResourceGuard], SymbolicVerdict],
+    engine: str,
+    det_budget: int,
+    mso_deadline_s: Optional[float],
+    node_ceiling: Optional[int],
+    attempts: List[Dict[str, object]],
+    details: Dict[str, object],
+) -> Tuple[Optional[SymbolicVerdict], Optional[str]]:
+    """Symbolic rungs: one guarded run, plus one escalated retry.
+
+    The retry only fires under ``engine="auto"`` when the first run died
+    on its *state budget* (a deadline or memory ceiling would just be hit
+    again) and enough wall clock remains; it shares the first run's
+    absolute deadline so the two rungs together never exceed
+    ``mso_deadline_s``.  ``SolverInternalError`` propagates when the
+    caller demanded ``engine="mso"``; under ``auto`` it is recorded and
+    the ladder falls through to the bounded engine.
+    """
+    guard = ResourceGuard.start(
+        deadline_s=mso_deadline_s, node_ceiling=node_ceiling
+    )
+    solver = MSOSolver(det_budget=det_budget)
+    limits: Dict[str, object] = {
+        "det_budget": det_budget,
+        "product_budget": solver.product_budget,
+        "deadline_s": mso_deadline_s,
+        "node_ceiling": node_ceiling,
+    }
+    t0 = time.perf_counter()
+    try:
+        sym = run_sym(solver, guard)
+    except SolverInternalError as e:
+        _record_attempt(attempts, "mso", "mso", limits, "error", t0, note=str(e))
+        details["mso_error"] = str(e)
+        if engine == "mso":
+            raise
+        return None, None
+    finally:
+        guard.unbind_managers()
+    _record_attempt(
+        attempts,
+        "mso",
+        "mso",
+        limits,
+        sym.status,
+        t0,
+        note="counterexample" if sym.found else None,
+    )
+    if sym.status != "budget" or engine != "auto":
+        return sym, "mso"
+    remaining = guard.remaining_s()
+    if remaining is not None and remaining < _MIN_RETRY_S:
+        return sym, "mso"
+
+    solver2 = MSOSolver(
+        det_budget=det_budget * LADDER_ESCALATION,
+        product_budget=solver.product_budget * LADDER_ESCALATION,
+    )
+    guard2 = ResourceGuard(deadline=guard.deadline, node_ceiling=node_ceiling)
+    limits2: Dict[str, object] = {
+        "det_budget": solver2.compiler.det_budget,
+        "product_budget": solver2.product_budget,
+        "deadline_s": round(remaining, 3) if remaining is not None else None,
+        "node_ceiling": node_ceiling,
+    }
+    t1 = time.perf_counter()
+    try:
+        sym2 = run_sym(solver2, guard2)
+    except SolverInternalError as e:
+        _record_attempt(
+            attempts, "mso-retry", "mso", limits2, "error", t1, note=str(e)
+        )
+        details["mso_error"] = str(e)
+        return sym, "mso"
+    finally:
+        guard2.unbind_managers()
+    _record_attempt(
+        attempts,
+        "mso-retry",
+        "mso",
+        limits2,
+        sym2.status,
+        t1,
+        note="counterexample" if sym2.found else None,
+    )
+    if sym2.status == "decided":
+        return sym2, "mso-retry"
+    return sym, "mso"
+
+
+def _bounded_ladder(
+    run_bnd: Callable[[int, Optional[ResourceGuard]], BoundedVerdict],
+    max_internal: int,
+    bounded_deadline_s: Optional[float],
+    attempts: List[Dict[str, object]],
+) -> Tuple[Optional[BoundedVerdict], Optional[int]]:
+    """Bounded rungs: shrink the scope until a run fits its limits.
+
+    With no ``bounded_deadline_s`` the first (largest-scope) run always
+    completes — the seed behaviour.  With one, each scope gets a fresh
+    deadline; an overrun shrinks the scope instead of failing the query.
+    """
+    for scope in range(max_internal, 0, -1):
+        rung = f"bounded@{scope}"
+        guard = (
+            ResourceGuard.start(deadline_s=bounded_deadline_s)
+            if bounded_deadline_s is not None
+            else None
+        )
+        limits: Dict[str, object] = {
+            "max_internal": scope,
+            "deadline_s": bounded_deadline_s,
+        }
+        t0 = time.perf_counter()
+        try:
+            bnd = run_bnd(scope, guard)
+        except ResourceExhausted as e:
+            _record_attempt(
+                attempts, rung, "bounded", limits, exhaustion_status(e), t0
+            )
+            continue
+        _record_attempt(
+            attempts,
+            rung,
+            "bounded",
+            limits,
+            "decided",
+            t0,
+            note="counterexample" if bnd.found else None,
+        )
+        return bnd, scope
+    return None, None
+
+
+def _merge_race(
+    sym: Optional[SymbolicVerdict], bnd: Optional[BoundedVerdict]
+):
+    """Pick the verdict source: a *decided* symbolic result wins, then a
+    bounded result.  An undecided symbolic run never contributes a
+    verdict or witness — its partial state is not evidence."""
+    if sym is not None and sym.status == "decided":
+        tree = sym.witness.tree if (sym.found and sym.witness) else None
+        return sym.found, tree, sym.witness
+    if bnd is not None:
+        tree = bnd.witness.tree if (bnd.found and bnd.witness) else None
+        return bnd.found, tree, bnd.witness
+    return False, None, None
+
+
+def _note_symbolic(details: Dict[str, object], sym: SymbolicVerdict) -> None:
+    details["mso"] = str(sym)
+    details["mso_status"] = sym.status
+    details["mso_queries"] = sym.queries
+    details["mso_reached_states"] = sym.max_states
+    if sym.stats is not None:
+        details["mso_stats"] = sym.stats
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+
+
 def check_data_race(
     program: A.Program,
     engine: str = "auto",
     max_internal: int = 4,
     det_budget: int = 50_000,
     mso_deadline_s: Optional[float] = 600.0,
+    node_ceiling: Optional[int] = None,
+    bounded_deadline_s: Optional[float] = None,
     replay: bool = True,
 ) -> VerificationResult:
     """Is the program data-race-free (paper Thm 2)?"""
     validate(program)
     t0 = time.perf_counter()
-    details: Dict[str, object] = {}
+    attempts: List[Dict[str, object]] = []
+    details: Dict[str, object] = {"attempts": attempts}
     used = engine
     sym: Optional[SymbolicVerdict] = None
     bnd: Optional[BoundedVerdict] = None
+    sym_rung: Optional[str] = None
+    bnd_scope: Optional[int] = None
 
     if engine in ("mso", "auto"):
-        deadline = (
-            time.perf_counter() + mso_deadline_s if mso_deadline_s else None
+        sym, sym_rung = _symbolic_ladder(
+            lambda solver, guard: check_data_race_mso(
+                program, solver=solver, guard=guard
+            ),
+            engine,
+            det_budget,
+            mso_deadline_s,
+            node_ceiling,
+            attempts,
+            details,
         )
-        sym = check_data_race_mso(
-            program, det_budget=det_budget, deadline=deadline
-        )
-        details["mso"] = str(sym)
-        details["mso_queries"] = sym.queries
-        details["mso_reached_states"] = sym.max_states
-        if sym.stats is not None:
-            details["mso_stats"] = sym.stats
-        if sym.status == "decided":
+        if sym is not None:
+            _note_symbolic(details, sym)
+        if sym is not None and sym.status == "decided":
             used = "mso"
         elif engine == "mso":
             used = "mso"
         else:
             used = "mso+bounded"
-    if engine in ("bounded",) or (engine == "auto" and used == "mso+bounded"):
-        bnd = check_data_race_bounded(program, max_internal=max_internal)
-        details["bounded"] = str(bnd)
+    if engine == "bounded" or (engine == "auto" and used == "mso+bounded"):
+        bnd, bnd_scope = _bounded_ladder(
+            lambda scope, guard: check_data_race_bounded(
+                program, max_internal=scope, guard=guard
+            ),
+            max_internal,
+            bounded_deadline_s,
+            attempts,
+        )
+        if bnd is not None:
+            details["bounded"] = str(bnd)
         if engine == "bounded":
             used = "bounded"
 
     found, witness_tree, witness = _merge_race(sym, bnd)
     verdict = "race" if found else "race-free"
-    if sym is not None and sym.status != "decided" and bnd is None:
+    sym_decided = sym is not None and sym.status == "decided"
+    if not sym_decided and bnd is None:
         verdict = "unknown"
+    details["decided_by"] = (
+        None
+        if verdict == "unknown"
+        else (sym_rung if sym_decided else f"bounded@{bnd_scope}")
+    )
     rep = None
     if replay and found and witness_tree is not None:
         rep = replay_race(program, witness_tree, _program_fields(program))
@@ -122,25 +359,12 @@ def check_data_race(
         verdict=verdict,
         engine=used,
         elapsed=time.perf_counter() - t0,
-        holds=not found,
+        holds=not found and verdict != "unknown",
         witness=witness,
         witness_tree=witness_tree,
         replay=rep,
         details=details,
     )
-
-
-def _merge_race(sym, bnd):
-    if sym is not None and sym.status == "decided":
-        tree = sym.witness.tree if (sym.found and sym.witness) else None
-        return sym.found, tree, sym.witness
-    if bnd is not None:
-        tree = bnd.witness.tree if (bnd.found and bnd.witness) else None
-        return bnd.found, tree, bnd.witness
-    if sym is not None:
-        tree = sym.witness.tree if (sym.found and sym.witness) else None
-        return sym.found, tree, sym.witness
-    return False, None, None
 
 
 def check_equivalence(
@@ -151,6 +375,8 @@ def check_equivalence(
     max_internal: int = 4,
     det_budget: int = 50_000,
     mso_deadline_s: Optional[float] = 60.0,
+    node_ceiling: Optional[int] = None,
+    bounded_deadline_s: Optional[float] = None,
     replay: bool = True,
     check_bisim: bool = True,
 ) -> VerificationResult:
@@ -163,11 +389,13 @@ def check_equivalence(
     validate(p)
     validate(p_prime)
     t0 = time.perf_counter()
-    details: Dict[str, object] = {}
+    attempts: List[Dict[str, object]] = []
+    details: Dict[str, object] = {"attempts": attempts}
     if check_bisim:
         bis = check_bisimulation(p, p_prime, mapping)
         details["bisimulation"] = str(bis)
         if not bis.bisimilar:
+            details["decided_by"] = "bisim"
             return VerificationResult(
                 query=f"equivalence({p.name} vs {p_prime.name})",
                 verdict="not-equivalent",
@@ -180,36 +408,52 @@ def check_equivalence(
     used = engine
     sym: Optional[SymbolicVerdict] = None
     bnd: Optional[BoundedVerdict] = None
+    sym_rung: Optional[str] = None
+    bnd_scope: Optional[int] = None
     if engine in ("mso", "auto"):
-        deadline = (
-            time.perf_counter() + mso_deadline_s if mso_deadline_s else None
+        sym, sym_rung = _symbolic_ladder(
+            lambda solver, guard: check_conflict_mso(
+                p, p_prime, mapping, solver=solver, guard=guard
+            ),
+            engine,
+            det_budget,
+            mso_deadline_s,
+            node_ceiling,
+            attempts,
+            details,
         )
-        sym = check_conflict_mso(
-            p, p_prime, mapping, det_budget=det_budget, deadline=deadline
-        )
-        details["mso"] = str(sym)
-        details["mso_queries"] = sym.queries
-        details["mso_reached_states"] = sym.max_states
-        if sym.stats is not None:
-            details["mso_stats"] = sym.stats
-        if sym.status == "decided":
+        if sym is not None:
+            _note_symbolic(details, sym)
+        if sym is not None and sym.status == "decided":
             used = "mso"
         elif engine == "mso":
             used = "mso"
         else:
             used = "mso+bounded"
     if engine == "bounded" or (engine == "auto" and used == "mso+bounded"):
-        bnd = check_conflict_bounded(
-            p, p_prime, mapping, max_internal=max_internal
+        bnd, bnd_scope = _bounded_ladder(
+            lambda scope, guard: check_conflict_bounded(
+                p, p_prime, mapping, max_internal=scope, guard=guard
+            ),
+            max_internal,
+            bounded_deadline_s,
+            attempts,
         )
-        details["bounded"] = str(bnd)
+        if bnd is not None:
+            details["bounded"] = str(bnd)
         if engine == "bounded":
             used = "bounded"
 
     found, witness_tree, witness = _merge_race(sym, bnd)
     verdict = "not-equivalent" if found else "equivalent"
-    if sym is not None and sym.status != "decided" and bnd is None:
+    sym_decided = sym is not None and sym.status == "decided"
+    if not sym_decided and bnd is None:
         verdict = "unknown"
+    details["decided_by"] = (
+        None
+        if verdict == "unknown"
+        else (sym_rung if sym_decided else f"bounded@{bnd_scope}")
+    )
     rep = None
     if replay and found and witness_tree is not None:
         fields = sorted(set(_program_fields(p)) | set(_program_fields(p_prime)))
@@ -219,7 +463,7 @@ def check_equivalence(
         verdict=verdict,
         engine=used,
         elapsed=time.perf_counter() - t0,
-        holds=not found,
+        holds=not found and verdict != "unknown",
         witness=witness,
         witness_tree=witness_tree,
         replay=rep,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..lang import ast as A
+from ..runtime import ResourceGuard
 from ..trees.generators import all_shapes
 from ..trees.heap import Tree
 from .configurations import (
@@ -112,12 +113,20 @@ def check_data_race_bounded(
     program: A.Program,
     scope: Optional[Iterable[Tree]] = None,
     max_internal: int = 4,
+    guard: Optional[ResourceGuard] = None,
 ) -> BoundedVerdict:
-    """Decide ``DataRace[[P]]`` on the scope (Thm 2 instantiated finitely)."""
+    """Decide ``DataRace[[P]]`` on the scope (Thm 2 instantiated finitely).
+
+    An optional :class:`~repro.runtime.ResourceGuard` cancels the search
+    (``DeadlineExceeded``) so the degradation ladder can retry at a
+    smaller scope; with no guard the search always runs to completion.
+    """
     model = ProgramModel(program)
     t0 = time.perf_counter()
     verdict = BoundedVerdict(query=f"data-race({program.name})", found=False)
     for tree in scope if scope is not None else default_scope(max_internal):
+        if guard is not None:
+            guard.check_now("bounded")
         configs = enumerate_configurations(model, tree)
         verdict.trees_checked += 1
         verdict.max_configs = max(verdict.max_configs, len(configs))
@@ -129,6 +138,8 @@ def check_data_race_bounded(
                 for c2 in groups[(q2, x2)]:
                     if c1 is c2:
                         continue
+                    if guard is not None:
+                        guard.tick("bounded")
                     if parallel(model, c1, c2) and dependence_cells(
                         model, tree, c1, c2
                     ):
@@ -321,6 +332,7 @@ def check_conflict_bounded(
     mapping: Mapping[str, Set[str]],
     scope: Optional[Iterable[Tree]] = None,
     max_internal: int = 4,
+    guard: Optional[ResourceGuard] = None,
 ) -> BoundedVerdict:
     """Decide ``Conflict[[P, P']]`` on the scope (Thm 3 instantiated
     finitely).
@@ -342,6 +354,8 @@ def check_conflict_bounded(
         query=f"conflict({p.name} vs {p_prime.name})", found=False
     )
     for tree in scope if scope is not None else default_scope(max_internal):
+        if guard is not None:
+            guard.check_now("bounded")
         cp = enumerate_configurations(model_p, tree)
         cq = enumerate_configurations(model_q, tree)
         verdict.trees_checked += 1

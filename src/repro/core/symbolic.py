@@ -6,6 +6,14 @@ Theorems 2 and 3 are discharged as satisfiability of the §4 encoding, over
 statically-conflicting endpoint pair, so the expensive q-independent
 ``Configuration`` conjuncts compile once and are shared via the compiler's
 memo table.
+
+Failure semantics (DESIGN.md §7): both checkers take a
+:class:`~repro.runtime.ResourceGuard` (or a legacy ``deadline`` float);
+resource exhaustion is reported as a distinct ``SymbolicVerdict.status``
+(``"deadline"`` / ``"budget"`` / ``"memory"``), and any unexpected
+exception escapes as a typed
+:class:`~repro.runtime.SolverInternalError` — never as a silent
+``race-free``/``equivalent`` verdict.
 """
 
 from __future__ import annotations
@@ -17,10 +25,17 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from ..automata.emptiness import Witness
 from ..lang import ast as A
 from ..mso import syntax as S
+from ..runtime import (
+    ReproError,
+    ResourceExhausted,
+    ResourceGuard,
+    SolverInternalError,
+    as_guard,
+    exhaustion_status,
+)
 from ..solver.solver import MSOSolver
 from .bounded import block_touches, cell_class
 from .configurations import ProgramModel
-from ..automata.determinize import StateBudgetExceeded
 from .encode import ConfigTracks, Encoder
 
 __all__ = ["SymbolicVerdict", "check_data_race_mso", "check_conflict_mso"]
@@ -32,7 +47,7 @@ X1, X2 = "@x1", "@x2"
 class SymbolicVerdict:
     query: str
     found: bool
-    status: str  # "decided" | "budget"
+    status: str  # "decided" | "budget" | "deadline" | "memory"
     witness: Optional[Witness] = None
     witness_info: Optional[str] = None
     queries: int = 0
@@ -50,7 +65,11 @@ class SymbolicVerdict:
         status = (
             "COUNTEREXAMPLE"
             if self.found
-            else ("holds (all trees)" if self.status == "decided" else "BUDGET")
+            else (
+                "holds (all trees)"
+                if self.status == "decided"
+                else self.status.upper()
+            )
         )
         return (
             f"[mso] {self.query}: {status} ({self.queries} queries, "
@@ -88,11 +107,33 @@ def _conflicting_block_pairs(model: ProgramModel):
         yield q1, q2
 
 
+def _attach_guard(
+    solver: MSOSolver,
+    guard: Optional[ResourceGuard],
+    deadline: Optional[float],
+) -> Optional[ResourceGuard]:
+    """Install guard/deadline on the solver and bind its BDD manager."""
+    guard = as_guard(guard, deadline)
+    solver.deadline = deadline
+    solver.guard = guard
+    if guard is not None:
+        guard.bind_manager(solver.registry.manager)
+    return guard
+
+
+def _wrap_internal(e: Exception, guard: Optional[ResourceGuard]) -> SolverInternalError:
+    return SolverInternalError(
+        f"symbolic engine failed: {type(e).__name__}: {e}",
+        phase=guard.last_phase if guard is not None else None,
+    )
+
+
 def check_data_race_mso(
     program: A.Program,
     solver: Optional[MSOSolver] = None,
     det_budget: int = 50_000,
     deadline: Optional[float] = None,
+    guard: Optional[ResourceGuard] = None,
 ) -> SymbolicVerdict:
     """``DataRace[[P]]`` (Thm 2) by MSO satisfiability, over all trees."""
     model = ProgramModel(program)
@@ -100,7 +141,7 @@ def check_data_race_mso(
     solver = solver or MSOSolver(det_budget=det_budget)
     ct1, ct2 = enc.tracks(1), enc.tracks(2)
     enc.preregister(solver.registry, (ct1, ct2))
-    solver.deadline = deadline
+    guard = _attach_guard(solver, guard, deadline)
     t0 = time.perf_counter()
     verdict = SymbolicVerdict(query=f"data-race({program.name})", found=False, status="decided")
     try:
@@ -115,36 +156,33 @@ def check_data_race_mso(
             enc.config_core_parts(ct2), cache_key=f"cfg-core:{ct2.prefix}"
         )
         par = solver.compile(enc.parallel(ct1, ct2))
-    except StateBudgetExceeded:
-        verdict.status = "budget"
-        verdict.elapsed = time.perf_counter() - t0
-        verdict.stats = solver.stats.as_dict(solver.registry.manager)
-        return verdict
-    for q1, q2 in _conflicting_block_pairs(model):
-        if deadline is not None and time.perf_counter() > deadline:
-            verdict.status = "budget"
-            break
-        parts: List[object] = [core1, core2, par]
-        parts += enc.current_parts(ct1, q1, X1)
-        parts += enc.current_parts(ct2, q2, X2)
-        parts.append(enc.dependence_geometry(q1, q2, X1, X2))
-        parts.append(S.Sing(X1))
-        parts.append(S.Sing(X2))
-        try:
+        for q1, q2 in _conflicting_block_pairs(model):
+            if guard is not None and guard.expired():
+                verdict.status = "deadline"
+                break
+            parts: List[object] = [core1, core2, par]
+            parts += enc.current_parts(ct1, q1, X1)
+            parts += enc.current_parts(ct2, q2, X2)
+            parts.append(enc.dependence_geometry(q1, q2, X1, X2))
+            parts.append(S.Sing(X1))
+            parts.append(S.Sing(X2))
             acc = solver.automaton_conj(parts)
             res = solver.sat_of(acc, exist_fo=(X1, X2))
-        except StateBudgetExceeded:
-            verdict.status = "budget"
-            break
-        verdict.queries += 1
-        verdict.max_states = max(verdict.max_states, res.automaton_states)
-        if res.is_sat:
-            verdict.found = True
-            verdict.witness = res.witness
-            verdict.witness_info = (
-                f"parallel dependent iterations ({q1.sid}, {q2.sid})"
-            )
-            break
+            verdict.queries += 1
+            verdict.max_states = max(verdict.max_states, res.automaton_states)
+            if res.is_sat:
+                verdict.found = True
+                verdict.witness = res.witness
+                verdict.witness_info = (
+                    f"parallel dependent iterations ({q1.sid}, {q2.sid})"
+                )
+                break
+    except ResourceExhausted as e:
+        verdict.status = exhaustion_status(e)
+    except ReproError:
+        raise
+    except Exception as e:
+        raise _wrap_internal(e, guard) from e
     verdict.elapsed = time.perf_counter() - t0
     verdict.stats = solver.stats.as_dict(solver.registry.manager)
     return verdict
@@ -157,6 +195,7 @@ def check_conflict_mso(
     solver: Optional[MSOSolver] = None,
     det_budget: int = 50_000,
     deadline: Optional[float] = None,
+    guard: Optional[ResourceGuard] = None,
 ) -> SymbolicVerdict:
     """``Conflict[[P, P']]`` (Thm 3) by MSO satisfiability.
 
@@ -173,7 +212,7 @@ def check_conflict_mso(
     ct3, ct4 = enc_q.tracks(3), enc_q.tracks(4)
     enc_p.preregister(solver.registry, (ct1, ct2))
     enc_q.preregister(solver.registry, (ct3, ct4))
-    solver.deadline = deadline
+    guard = _attach_guard(solver, guard, deadline)
     t0 = time.perf_counter()
     verdict = SymbolicVerdict(
         query=f"conflict({p.name} vs {p_prime.name})", found=False, status="decided"
@@ -189,49 +228,43 @@ def check_conflict_mso(
         ]
         ord_p = solver.compile(enc_p.ordered(ct1, ct2))
         ord_q_rev = solver.compile(enc_q.ordered(ct4, ct3))
-    except StateBudgetExceeded:
-        verdict.status = "budget"
-        verdict.elapsed = time.perf_counter() - t0
-        verdict.stats = solver.stats.as_dict(solver.registry.manager)
-        return verdict
-    for q1, q2 in _conflicting_block_pairs(model_p):
-        if verdict.found or verdict.status == "budget":
-            break
-        # Both orientations of the dependence.
-        for qa, qb in ((q1, q2), (q2, q1)) if q1 is not q2 else ((q1, q2),):
-            if verdict.found or verdict.status == "budget":
+        for q1, q2 in _conflicting_block_pairs(model_p):
+            if verdict.found or verdict.status != "decided":
                 break
-            reqs = set()
-            for d1, d2, kind, name in model_p.rw.conflict_offsets(qa, qb):
-                clazz = cell_class(kind, name)
-                reqs.add((clazz, "rw", "w"))
-                reqs.add((clazz, "w", "rw"))
-            for qam in sorted(mapping.get(qa.sid, set())):
-                if verdict.found or verdict.status == "budget":
+            # Both orientations of the dependence.
+            for qa, qb in ((q1, q2), (q2, q1)) if q1 is not q2 else ((q1, q2),):
+                if verdict.found or verdict.status != "decided":
                     break
-                for qbm in sorted(mapping.get(qb.sid, set())):
-                    if deadline is not None and time.perf_counter() > deadline:
-                        verdict.status = "budget"
+                reqs = set()
+                for d1, d2, kind, name in model_p.rw.conflict_offsets(qa, qb):
+                    clazz = cell_class(kind, name)
+                    reqs.add((clazz, "rw", "w"))
+                    reqs.add((clazz, "w", "rw"))
+                for qam in sorted(mapping.get(qa.sid, set())):
+                    if verdict.found or verdict.status != "decided":
                         break
-                    ok = any(
-                        block_touches(model_q, qam, clazz, n1)
-                        and block_touches(model_q, qbm, clazz, n2)
-                        for clazz, n1, n2 in reqs
-                    )
-                    if not ok:
-                        continue
-                    bm_a = model_q.table.block(qam)
-                    bm_b = model_q.table.block(qbm)
-                    # Eagerly, the P-side and Q-side constraint systems
-                    # share only the tree shape and the endpoints x1/x2,
-                    # so each side is conjoined separately, projected down
-                    # to its {x1, x2} interface, and only the two (much
-                    # smaller) interface automata are intersected.  The
-                    # lazy engine skips the interface trick: projection
-                    # never changes emptiness, so both sides go into one
-                    # implicit product explored directly under the
-                    # reached-state budget.
-                    try:
+                    for qbm in sorted(mapping.get(qb.sid, set())):
+                        if guard is not None and guard.expired():
+                            verdict.status = "deadline"
+                            break
+                        ok = any(
+                            block_touches(model_q, qam, clazz, n1)
+                            and block_touches(model_q, qbm, clazz, n2)
+                            for clazz, n1, n2 in reqs
+                        )
+                        if not ok:
+                            continue
+                        bm_a = model_q.table.block(qam)
+                        bm_b = model_q.table.block(qbm)
+                        # Eagerly, the P-side and Q-side constraint systems
+                        # share only the tree shape and the endpoints x1/x2,
+                        # so each side is conjoined separately, projected down
+                        # to its {x1, x2} interface, and only the two (much
+                        # smaller) interface automata are intersected.  The
+                        # lazy engine skips the interface trick: projection
+                        # never changes emptiness, so both sides go into one
+                        # implicit product explored directly under the
+                        # reached-state budget.
                         p_parts = (
                             [cores[0], cores[1], ord_p]
                             + enc_p.current_parts(ct1, qa, X1)
@@ -256,21 +289,24 @@ def check_conflict_mso(
                             iface_q = _interface(side_q, (X1, X2))
                             acc = solver.automaton_conj([iface_p, iface_q])
                         res = solver.sat_of(acc, exist_fo=(X1, X2))
-                    except StateBudgetExceeded:
-                        verdict.status = "budget"
-                        break
-                    verdict.queries += 1
-                    verdict.max_states = max(
-                        verdict.max_states, res.automaton_states
-                    )
-                    if res.is_sat:
-                        verdict.found = True
-                        verdict.witness = res.witness
-                        verdict.witness_info = (
-                            f"dependence ({qa.sid}@x1 -> {qb.sid}@x2) ordered "
-                            f"in P but reversed in P' via ({qam}, {qbm})"
+                        verdict.queries += 1
+                        verdict.max_states = max(
+                            verdict.max_states, res.automaton_states
                         )
-                        break
+                        if res.is_sat:
+                            verdict.found = True
+                            verdict.witness = res.witness
+                            verdict.witness_info = (
+                                f"dependence ({qa.sid}@x1 -> {qb.sid}@x2) ordered "
+                                f"in P but reversed in P' via ({qam}, {qbm})"
+                            )
+                            break
+    except ResourceExhausted as e:
+        verdict.status = exhaustion_status(e)
+    except ReproError:
+        raise
+    except Exception as e:
+        raise _wrap_internal(e, guard) from e
     verdict.elapsed = time.perf_counter() - t0
     verdict.stats = solver.stats.as_dict(solver.registry.manager)
     return verdict

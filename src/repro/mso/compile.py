@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..automata.determinize import determinize
 from ..automata.minimize import minimize, prune_unreachable
 from ..automata.tta import TrackRegistry, TreeAutomaton
+from ..runtime import ResourceGuard, as_guard
 from . import syntax as S
 
 __all__ = ["Compiler", "freshen", "structural_key"]
@@ -150,10 +151,15 @@ class Compiler:
         self.minimize_always = minimize_always
         self.det_budget = det_budget
         # Optional wall-clock deadline (time.perf_counter() value) checked
-        # inside long-running constructions.
+        # inside long-running constructions; superseded by ``guard`` when
+        # a ResourceGuard is installed (the solver sets both).
         self.deadline: Optional[float] = None
+        self.guard: Optional[ResourceGuard] = None
         self.stats = CompileStats()
         self._cache: Dict[str, TreeAutomaton] = {}
+
+    def _guard(self) -> Optional[ResourceGuard]:
+        return as_guard(self.guard, self.deadline)
 
     # -- public API ---------------------------------------------------------
     def compile(self, formula: S.Formula, already_fresh: bool = False) -> TreeAutomaton:
@@ -223,7 +229,7 @@ class Compiler:
         if isinstance(f, S.Not):
             inner = self._compile(f.body)
             self.stats.complements += 1
-            out = inner.complemented(deadline=self.deadline)
+            out = inner.complemented(guard=self._guard())
             return self._maybe_min(out)
         if isinstance(f, S.And):
             return self._combine(f.parts, union=False)
@@ -254,7 +260,7 @@ class Compiler:
     def _maybe_min(self, a: TreeAutomaton) -> TreeAutomaton:
         if self.minimize_always and a.deterministic:
             self.stats.minimizations += 1
-            return minimize(a, deadline=self.deadline)
+            return minimize(a, guard=self._guard())
         return prune_unreachable(a)
 
     def _combine(self, parts: Tuple[S.Formula, ...], union: bool) -> TreeAutomaton:
@@ -263,10 +269,11 @@ class Compiler:
         autos.sort(key=lambda a: a.n_states)
         if union:
             return self._union(autos)
+        guard = self._guard()
         acc = autos[0]
         for nxt in autos[1:]:
             self.stats.products += 1
-            acc = acc.product(nxt, lambda x, y: x and y, deadline=self.deadline)
+            acc = acc.product(nxt, lambda x, y: x and y, guard=guard)
             acc = prune_unreachable(acc)
             if (
                 acc.deterministic
@@ -274,7 +281,7 @@ class Compiler:
                 and self.minimize_always
             ):
                 self.stats.minimizations += 1
-                acc = minimize(acc.completed(), deadline=self.deadline)
+                acc = minimize(acc.completed(), guard=guard)
         return acc
 
     # Unions of small deterministic automata go through the product (the

@@ -1,0 +1,93 @@
+"""Structured failure taxonomy for the solver runtime.
+
+Every recoverable failure the decision procedure can produce is a typed
+:class:`ReproError` carrying the *phase* that tripped (``"determinize"``,
+``"product.explore"``, ``"bdd"``, …) and a snapshot of the resource
+counters at that moment, so callers can tell a wall-clock timeout from
+state-budget exhaustion from a memory ceiling from a genuine bug — and
+the degradation ladder in :mod:`repro.core.api` can decide whether
+escalating limits, switching engines, or re-raising is the right move.
+
+Hierarchy::
+
+    ReproError                     (base; never raised directly)
+    ├── ResourceExhausted          (recoverable: a limit was hit)
+    │   ├── DeadlineExceeded       (wall-clock deadline passed)
+    │   ├── StateBudgetExceeded    (automaton/product state budget hit)
+    │   └── MemoryCeilingExceeded  (BDD-node / memory ceiling hit)
+    └── SolverInternalError        (a bug or corrupted value — not a limit)
+
+``StateBudgetExceeded`` is re-exported from
+:mod:`repro.automata.determinize` for backward compatibility with the
+seed pipeline's import sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "ReproError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "StateBudgetExceeded",
+    "MemoryCeilingExceeded",
+    "SolverInternalError",
+    "exhaustion_status",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of all typed solver-runtime failures."""
+
+    def __init__(
+        self,
+        message: str = "",
+        phase: Optional[str] = None,
+        counters: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.counters: Dict[str, object] = dict(counters or {})
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.phase:
+            base = f"{base} [phase={self.phase}]"
+        return base
+
+
+class ResourceExhausted(ReproError):
+    """A configured resource limit was hit (recoverable by fallback)."""
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed mid-query."""
+
+
+class StateBudgetExceeded(ResourceExhausted):
+    """A construction or exploration exceeded its state budget."""
+
+
+class MemoryCeilingExceeded(ResourceExhausted):
+    """The BDD-node / memory ceiling was exceeded."""
+
+
+class SolverInternalError(ReproError):
+    """An unexpected internal failure (a bug, not a resource limit).
+
+    The symbolic engine wraps any non-:class:`ReproError` exception into
+    this class at its boundary, so callers always see a typed error and
+    never a silent wrong verdict.
+    """
+
+
+def exhaustion_status(exc: BaseException) -> str:
+    """Canonical short status name for an exhaustion exception."""
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, MemoryCeilingExceeded):
+        return "memory"
+    if isinstance(exc, StateBudgetExceeded):
+        return "budget"
+    return "error"

@@ -34,6 +34,12 @@ from ..automata.product import ProductAutomaton
 from ..automata.tta import TrackRegistry, TreeAutomaton
 from ..mso import syntax as S
 from ..mso.compile import Compiler
+from ..runtime import (
+    ResourceExhausted,
+    ResourceGuard,
+    as_guard,
+    exhaustion_status,
+)
 from .stats import SolverStats
 
 __all__ = ["MSOSolver", "SolveResult"]
@@ -43,7 +49,7 @@ Automaton = Union[TreeAutomaton, ProductAutomaton]
 
 @dataclass
 class SolveResult:
-    status: str  # "sat" | "unsat" | "budget"
+    status: str  # "sat" | "unsat" | "budget" | "deadline" | "memory"
     witness: Optional[Witness] = None
     elapsed: float = 0.0
     automaton_states: int = 0
@@ -67,6 +73,10 @@ class SolveResult:
                 if self.budget is not None
                 else "state budget exceeded"
             )
+        elif self.status == "deadline":
+            detail = "wall-clock deadline exceeded"
+        elif self.status == "memory":
+            detail = "memory ceiling exceeded"
         else:
             states = self.reached_states or self.automaton_states
             detail = f"{states} states reached"
@@ -104,9 +114,12 @@ class MSOSolver:
         self.product_budget = product_budget
         self.lazy_products = lazy_products
         # Optional wall-clock deadline (time.perf_counter() value); when
-        # exceeded mid-query, StateBudgetExceeded is raised so the
-        # caller's fallback logic runs rather than a query overshooting.
+        # exceeded mid-query, DeadlineExceeded is raised so the caller's
+        # fallback logic runs rather than a query overshooting.  A full
+        # ResourceGuard (deadline + state budget + node ceiling) can be
+        # installed via ``guard`` instead; it supersedes ``deadline``.
         self.deadline: Optional[float] = None
+        self.guard: Optional[ResourceGuard] = None
         self.stats = SolverStats(budget=product_budget)
         self._conj_cache: Dict[str, Automaton] = {}
 
@@ -114,8 +127,15 @@ class MSOSolver:
     def registry(self) -> TrackRegistry:
         return self.compiler.registry
 
-    def compile(self, formula: S.Formula) -> TreeAutomaton:
+    def _active_guard(self) -> Optional[ResourceGuard]:
+        return as_guard(self.guard, self.deadline)
+
+    def _sync_compiler(self) -> None:
         self.compiler.deadline = self.deadline
+        self.compiler.guard = self.guard
+
+    def compile(self, formula: S.Formula) -> TreeAutomaton:
+        self._sync_compiler()
         with self.stats.phase("compile"):
             return self.compiler.compile(formula)
 
@@ -123,7 +143,7 @@ class MSOSolver:
         """Is there a tree + labelling of the free variables satisfying the
         formula?"""
         t0 = time.perf_counter()
-        self.compiler.deadline = self.deadline
+        self._sync_compiler()
         try:
             with self.stats.phase("compile"):
                 if self.lazy_products:
@@ -131,9 +151,9 @@ class MSOSolver:
                 else:
                     a = self.compiler.compile(formula)
             res = self.sat_of(a, want_witness=want_witness)
-        except StateBudgetExceeded:
+        except ResourceExhausted as e:
             return SolveResult(
-                status="budget",
+                status=exhaustion_status(e),
                 elapsed=time.perf_counter() - t0,
                 budget=self.product_budget,
                 compile_stats=self.compiler.stats,
@@ -159,7 +179,7 @@ class MSOSolver:
                 self.stats.conj_cache_hits += 1
                 return cached
             self.stats.conj_cache_misses += 1
-        self.compiler.deadline = self.deadline
+        self._sync_compiler()
         with self.stats.phase("compile"):
             autos = [
                 p
@@ -167,8 +187,9 @@ class MSOSolver:
                 else self.compiler.compile(p)
                 for p in parts
             ]
+        guard = self._active_guard()
         if self.lazy_products:
-            acc: Automaton = ProductAutomaton(autos, merge_deadline=self.deadline)
+            acc: Automaton = ProductAutomaton(autos, guard=guard)
             # An unsatisfiable factor decides the whole conjunction;
             # keeping just that factor lets exploration finish instantly
             # instead of saturating the other factors' product.
@@ -182,23 +203,25 @@ class MSOSolver:
         autos.sort(key=lambda a: a.n_states)
         acc = autos[0]
         for nxt in autos[1:]:
-            if self.deadline is not None and time.perf_counter() > self.deadline:
-                raise StateBudgetExceeded("solver deadline exceeded")
+            if guard is not None:
+                guard.check_now("solver.conj")
             acc = acc.product(
                 nxt,
                 lambda x, y: x and y,
                 max_states=self.product_budget,
-                deadline=self.deadline,
+                guard=guard,
             )
             acc = prune_unreachable(acc)
             if acc.deterministic and acc.n_states > 8:
-                acc = minimize(acc.completed(), deadline=self.deadline)
+                acc = minimize(acc.completed(), guard=guard)
             elif not acc.deterministic and acc.n_states > 32:
-                acc = reduce_nfta(acc, deadline=self.deadline)
+                acc = reduce_nfta(acc, guard=guard)
             if acc.n_states > self.product_budget:
                 raise StateBudgetExceeded(
                     f"conjunction product exceeded {self.product_budget} "
-                    "states"
+                    "states",
+                    phase="solver.conj",
+                    counters={"states": acc.n_states},
                 )
             if not acc.accepting:
                 break
@@ -219,7 +242,8 @@ class MSOSolver:
             # from the witness labelling afterwards.
             with self.stats.phase("explore"):
                 exp = automaton.explore(
-                    max_states=self.product_budget, deadline=self.deadline
+                    max_states=self.product_budget,
+                    guard=self._active_guard(),
                 )
             self.stats.note_exploration(exp.reached)
             w = None
@@ -251,12 +275,16 @@ class MSOSolver:
             acc = prune_unreachable(acc.projected(exist_fo))
         if want_witness:
             with self.stats.phase("explore"):
-                w = find_witness(acc, deadline=self.deadline)
+                w = find_witness(acc, guard=self._active_guard())
             status = "sat" if w is not None else "unsat"
         else:
             w = None
             with self.stats.phase("explore"):
-                status = "unsat" if is_empty(acc, deadline=self.deadline) else "sat"
+                status = (
+                    "unsat"
+                    if is_empty(acc, guard=self._active_guard())
+                    else "sat"
+                )
         self.stats.note_exploration(acc.n_states)
         return SolveResult(
             status=status,
@@ -288,9 +316,9 @@ class MSOSolver:
             all_parts = list(parts) + [S.Sing(v) for v in exist_fo]
             acc = self.automaton_conj(all_parts)
             res = self.sat_of(acc, exist_fo=exist_fo, want_witness=want_witness)
-        except StateBudgetExceeded:
+        except ResourceExhausted as e:
             return SolveResult(
-                status="budget",
+                status=exhaustion_status(e),
                 elapsed=time.perf_counter() - t0,
                 budget=self.product_budget,
                 compile_stats=self.compiler.stats,

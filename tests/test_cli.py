@@ -85,3 +85,34 @@ class TestCheckFusion:
         )
         assert rc == 0
         assert "equivalent" in capsys.readouterr().out
+
+
+class TestResourceFlags:
+    def test_unknown_verdict_exits_three(self, sizecount_file, capsys):
+        rc = main(
+            ["check-race", sizecount_file, "--engine", "mso",
+             "--deadline", "0.05"]
+        )
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "unknown" in captured.out
+        assert "resource limits" in captured.err
+        assert "attempt mso: deadline" in captured.err
+
+    def test_flags_forwarded(self, sizecount_file, capsys):
+        rc = main(
+            ["check-race", sizecount_file, "--engine", "bounded",
+             "--max-internal", "2", "--det-budget", "1000"]
+        )
+        assert rc == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_fusion_accepts_flags(self, sizecount_file, tmp_path, capsys):
+        other = tmp_path / "same.retreet"
+        other.write_text(SIZECOUNT)
+        rc = main(
+            ["check-fusion", sizecount_file, str(other),
+             "--engine", "bounded", "--max-internal", "2"]
+        )
+        assert rc == 0
+        assert "equivalent" in capsys.readouterr().out
