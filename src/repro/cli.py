@@ -9,7 +9,10 @@ Commands:
   ``--map sP=sQ1,sQ2`` overrides);
 * ``run FILE`` — execute a program on a generated tree and print the
   result;
-* ``blocks FILE`` — print the numbered block table (the paper's s0..sn).
+* ``blocks FILE`` — print the numbered block table (the paper's s0..sn);
+* ``fuzz`` — seeded differential conformance fuzzing: generated queries
+  run through all three engines, witnesses replayed, mismatches shrunk
+  to minimal reproducers in a corpus directory.
 
 The check commands exit 0 when the property holds, 1 on a
 counterexample, and 3 when every engine rung exhausted its resource
@@ -105,6 +108,38 @@ def main(argv=None) -> int:
     p_blocks = sub.add_parser("blocks", help="print the block table")
     p_blocks.add_argument("file")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential conformance fuzzing across engines"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="run seed; the whole case stream is a "
+                             "function of it (default 0)")
+    p_fuzz.add_argument("--budget-s", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the run (default 30)")
+    shrink_group = p_fuzz.add_mutually_exclusive_group()
+    shrink_group.add_argument("--shrink", dest="shrink",
+                              action="store_true", default=True,
+                              help="shrink mismatches to minimal "
+                                   "reproducers (default)")
+    shrink_group.add_argument("--no-shrink", dest="shrink",
+                              action="store_false",
+                              help="report mismatches unshrunk")
+    p_fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                        help="directory to persist reproducers to "
+                             "(default: no persistence)")
+    p_fuzz.add_argument("--max-internal", type=int, default=2, metavar="N",
+                        help="tree scope for bounded/interpreter engines")
+    p_fuzz.add_argument("--max-cases", type=int, default=None, metavar="K",
+                        help="stop after K cases even if budget remains")
+    p_fuzz.add_argument("--inject-fault", metavar="PROBE:HIT:ACTION",
+                        default=None,
+                        help="arm a runtime fault before each symbolic "
+                             "run (e.g. bdd.apply:1:corrupt); the oracle "
+                             "must catch it as a mismatch")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
+
     args = ap.parse_args(argv)
 
     def resource_kwargs():
@@ -170,6 +205,35 @@ def main(argv=None) -> int:
         prog = _load(args.file, args.entry)
         print(BlockTable(prog).summary())
         return 0
+
+    if args.cmd == "fuzz":
+        from .conformance import OracleConfig, run_fuzz
+
+        fault = None
+        if args.inject_fault is not None:
+            parts = args.inject_fault.split(":")
+            if len(parts) != 3:
+                ap.error(
+                    f"bad --inject-fault {args.inject_fault!r} "
+                    "(want PROBE:HIT:ACTION)"
+                )
+            fault = (parts[0], int(parts[1]), parts[2])
+        cfg = OracleConfig(fault=fault)
+        say = (lambda _msg: None) if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        )
+        rep = run_fuzz(
+            seed=args.seed,
+            budget_s=args.budget_s,
+            shrink=args.shrink,
+            corpus_dir=Path(args.corpus) if args.corpus else None,
+            max_internal=args.max_internal,
+            max_cases=args.max_cases,
+            cfg=cfg,
+            log=say,
+        )
+        print(rep.summary())
+        return 0 if rep.ok else 1
 
     return 2  # pragma: no cover
 

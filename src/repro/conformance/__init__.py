@@ -1,0 +1,38 @@
+"""Cross-engine differential conformance subsystem.
+
+Three independent engines implement the same semantics — interpreter
+schedule enumeration, the bounded checker, and the MSO/automata
+pipeline — and the degradation ladder silently switches between them.
+This package is the standing cross-check: a seeded fuzz loop
+(:mod:`repro.conformance.fuzz`) drives generated queries through all
+three (:mod:`repro.conformance.oracle`), replays every witness
+concretely (:mod:`repro.conformance.replay`), shrinks any mismatch to a
+minimal reproducer (:mod:`repro.conformance.shrink`) and persists it to
+a regression corpus (:mod:`repro.conformance.corpus`).
+
+CLI: ``repro fuzz --seed N --budget-s S --shrink``.
+"""
+
+from .corpus import CorpusEntry, load_corpus, run_entry, save_entry
+from .fuzz import FuzzReport, case_for_seed, run_fuzz
+from .oracle import Case, CaseResult, Mismatch, OracleConfig, run_case
+from .replay import replay_race_witness
+from .shrink import case_size, shrink_case
+
+__all__ = [
+    "Case",
+    "CaseResult",
+    "Mismatch",
+    "OracleConfig",
+    "run_case",
+    "replay_race_witness",
+    "shrink_case",
+    "case_size",
+    "CorpusEntry",
+    "load_corpus",
+    "save_entry",
+    "run_entry",
+    "FuzzReport",
+    "run_fuzz",
+    "case_for_seed",
+]

@@ -1,0 +1,154 @@
+"""The seeded differential fuzz loop.
+
+Drives :mod:`repro.gen` queries through the three-engine oracle until a
+wall-clock budget runs out: race queries and equivalence queries are
+interleaved 3:1 (sequential equivalence queries are cheap but less
+likely to flush out verdict flips).  Every mismatch is shrunk with the
+delta-debugging shrinker (spending at most half the remaining budget)
+and persisted to the corpus directory as a minimal reproducer.
+
+The whole run is a function of ``seed``: case ``i`` of ``repro fuzz
+--seed N`` is query seed ``N * 100_003 + i``, so any corpus entry can be
+regenerated from its recorded origin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field, replace
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from ..gen import GenConfig, gen_equivalence_query, gen_race_query
+from .corpus import save_entry
+from .oracle import Case, CaseResult, Mismatch, OracleConfig, run_case
+from .shrink import shrink_case
+
+__all__ = ["FuzzReport", "run_fuzz", "case_for_seed"]
+
+#: Spacing of per-case seeds within one fuzz run (prime, so different
+#: run seeds produce disjoint-looking query streams).
+SEED_STRIDE = 100_003
+
+#: Stop collecting after this many distinct mismatching cases; a broken
+#: engine would otherwise spend the whole budget shrinking duplicates.
+MAX_MISMATCHING_CASES = 5
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    cases: int = 0
+    race_cases: int = 0
+    equiv_cases: int = 0
+    mismatches: List[Tuple[Case, List[Mismatch]]] = dc_field(default_factory=list)
+    warnings: List[str] = dc_field(default_factory=list)
+    corpus_paths: List[Path] = dc_field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed {self.seed}: {self.cases} cases "
+            f"({self.race_cases} race, {self.equiv_cases} equivalence) "
+            f"in {self.elapsed:.1f}s — "
+            + ("no mismatches" if self.ok else
+               f"{len(self.mismatches)} MISMATCHING case(s)")
+        ]
+        for case, mms in self.mismatches:
+            for m in mms:
+                lines.append(f"  {case.name}: {m}")
+        for p in self.corpus_paths:
+            lines.append(f"  reproducer: {p}")
+        if self.warnings:
+            lines.append(f"  ({len(self.warnings)} over-approximation warnings)")
+        return "\n".join(lines)
+
+
+def case_for_seed(seed: int, case_index: int, max_internal: int = 2) -> Case:
+    """The deterministic case stream: index ``i`` of run ``seed``."""
+    q_seed = seed * SEED_STRIDE + case_index
+    if case_index % 4 == 3:
+        eq = gen_equivalence_query(q_seed, GenConfig())
+        return Case(
+            kind="equiv", source=eq.source, source2=eq.source2,
+            max_internal=max_internal, seed=q_seed,
+            name=f"fuzz-{seed}-{case_index}-equiv-{eq.pair_kind}",
+        )
+    rq = gen_race_query(q_seed, GenConfig())
+    return Case(
+        kind="race", source=rq.source, max_internal=max_internal,
+        seed=q_seed, name=f"fuzz-{seed}-{case_index}-race",
+    )
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget_s: float = 30.0,
+    shrink: bool = True,
+    corpus_dir: Optional[Path] = None,
+    max_internal: int = 2,
+    max_cases: Optional[int] = None,
+    cfg: OracleConfig = OracleConfig(),
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Fuzz until ``budget_s`` wall-clock seconds (or ``max_cases``) are
+    spent; shrink and persist every mismatch found."""
+    t0 = time.perf_counter()
+    deadline = t0 + budget_s
+    report = FuzzReport(seed=seed)
+    say = log or (lambda _msg: None)
+    i = 0
+    while time.perf_counter() < deadline:
+        if max_cases is not None and i >= max_cases:
+            break
+        if len(report.mismatches) >= MAX_MISMATCHING_CASES:
+            say("stopping early: too many mismatching cases")
+            break
+        case = case_for_seed(seed, i, max_internal=max_internal)
+        i += 1
+        # Never let one symbolic query blow the whole budget.
+        remaining = max(deadline - time.perf_counter(), 0.5)
+        case_cfg = replace(
+            cfg, sym_deadline_s=min(cfg.sym_deadline_s, remaining)
+        )
+        result = run_case(case, case_cfg)
+        report.cases += 1
+        if case.kind == "race":
+            report.race_cases += 1
+        else:
+            report.equiv_cases += 1
+        report.warnings.extend(
+            f"{case.name}: {w}" for w in result.warnings
+        )
+        if result.ok:
+            continue
+        say(f"MISMATCH in {case.name}: "
+            + "; ".join(str(m) for m in result.mismatches))
+        final = case
+        if shrink:
+            kinds = {m.kind for m in result.mismatches}
+
+            def still_fails(cand: Case) -> bool:
+                res = run_case(cand, case_cfg)
+                return any(m.kind in kinds for m in res.mismatches)
+
+            shrink_budget = max((deadline - time.perf_counter()) / 2, 2.0)
+            final = shrink_case(
+                case, still_fails, budget_s=shrink_budget, log=say
+            )
+        report.mismatches.append((final, result.mismatches))
+        if corpus_dir is not None:
+            path = save_entry(
+                corpus_dir,
+                final,
+                result.mismatches,
+                origin=f"fuzz --seed {seed} (case {case.name})",
+            )
+            report.corpus_paths.append(path)
+            say(f"wrote reproducer {path}")
+    report.elapsed = time.perf_counter() - t0
+    return report

@@ -1,0 +1,459 @@
+"""The three-engine differential oracle.
+
+A conformance :class:`Case` (one race query or one equivalence query) is
+run through every engine we have:
+
+* the **interpreter** — dynamic happens-before race detection plus
+  schedule-outcome enumeration (:func:`repro.interp.program_schedule_outcomes`)
+  on every tree shape in scope, under several seeded field valuations;
+* the **bounded engine** — exhaustive on the same scope
+  (:func:`repro.core.bounded.check_data_race_bounded` /
+  :func:`check_conflict_bounded` via :func:`repro.core.api`);
+* the **symbolic engine** — the guarded MSO pipeline, called *directly*
+  (not through the degradation ladder) so its raw verdict is never
+  masked by a fallback rung.
+
+The engines are then checked against the soundness lattice the paper's
+theorems induce (dynamic ⊆ bounded ⊆ symbolic):
+
+========================================  =================================
+observation                               verdict
+========================================  =================================
+interpreter race, bounded ``race-free``   mismatch (``interp-vs-bounded``)
+bounded race, symbolic ``race-free``      mismatch (``bounded-vs-symbolic``)
+interpreter race, symbolic ``race-free``  mismatch (``interp-vs-symbolic``)
+schedule-divergent outcome, bounded
+``race-free``                             mismatch (``schedule-divergence``)
+undecided symbolic result carrying a
+witness                                   mismatch (``stale-witness``)
+decided ``race`` without a witness        mismatch (``missing-witness``)
+``SolverInternalError`` from an engine    mismatch (``engine-error``)
+concrete runs differ, engines say
+``equivalent``                            mismatch (``concrete-vs-equivalent``)
+bounded conflict, symbolic ``equivalent``  mismatch (``bounded-vs-symbolic``)
+witness does not replay concretely        *warning* (``spurious-witness``)
+========================================  =================================
+
+The reverse directions (bounded race that no concrete run exhibits, a
+symbolic counterexample the replay cannot confirm) are exactly the
+over-approximation the paper grants itself, so they are recorded as
+warnings, never as mismatches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.api import check_equivalence
+from ..core.bounded import check_data_race_bounded, default_scope
+from ..core.symbolic import check_data_race_mso
+from ..core.transform import correspondence_by_key
+from ..interp import program_races_on, program_schedule_outcomes, run
+from ..lang import ast as A
+from ..lang.blocks import BlockTable
+from ..lang.parser import parse_program
+from ..lang.validate import validate
+from ..runtime import ResourceGuard, SolverInternalError
+from ..runtime import faults as fault_mod
+from ..solver.solver import MSOSolver
+from ..trees.generators import assign_fields
+from .replay import replay_race_witness
+
+__all__ = [
+    "Case",
+    "OracleConfig",
+    "Mismatch",
+    "CaseResult",
+    "run_case",
+    "program_fields",
+]
+
+
+@dataclass(frozen=True)
+class Case:
+    """One conformance test case, serializable as plain data."""
+
+    kind: str  # "race" | "equiv"
+    source: str
+    source2: Optional[str] = None
+    max_internal: int = 2
+    seed: Optional[int] = None
+    name: str = "case"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("race", "equiv"):
+            raise ValueError(f"bad case kind {self.kind!r}")
+        if self.kind == "equiv" and self.source2 is None:
+            raise ValueError("equivalence case needs source2")
+
+    def programs(self) -> Tuple[A.Program, Optional[A.Program]]:
+        p = parse_program(self.source, name=f"{self.name}-p")
+        validate(p)
+        q = None
+        if self.source2 is not None:
+            q = parse_program(self.source2, name=f"{self.name}-q")
+            validate(q)
+        return p, q
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Engine limits for one oracle evaluation."""
+
+    field_seeds: Tuple[int, ...] = (0, 7, 13)
+    schedule_cap: int = 240
+    run_symbolic: bool = True
+    sym_deadline_s: float = 10.0
+    det_budget: int = 50_000
+    product_budget: int = 3_000
+    # (probe, hit, action) armed around each symbolic run — used by the
+    # fault-injection conformance tests; re-armed on every evaluation so
+    # the shrinker's re-runs reproduce the fault deterministically.
+    fault: Optional[Tuple[str, int, str]] = None
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One soundness-lattice violation."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class CaseResult:
+    case: Case
+    mismatches: List[Mismatch] = dc_field(default_factory=list)
+    warnings: List[str] = dc_field(default_factory=list)
+    engines: Dict[str, object] = dc_field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def program_fields(program: A.Program) -> List[str]:
+    """All field names the program touches."""
+    from ..core.readwrite import ReadWriteAnalysis
+
+    table = BlockTable(program)
+    rw = ReadWriteAnalysis(table)
+    fields = set()
+    for b in table.all_noncalls:
+        for c in rw.access(b).readwrites:
+            if c.kind == "field":
+                fields.add(c.name)
+    return sorted(fields)
+
+
+# ----------------------------------------------------------------------
+# Interpreter-level evidence
+
+
+def _interp_race_evidence(
+    program: A.Program, trees, fields, cfg: OracleConfig
+) -> Optional[str]:
+    """A concrete race on some in-scope tree/valuation, or None.
+
+    The fork-join happens-before relation is schedule-independent, so
+    one run per (tree, valuation) decides racefreeness on that input.
+    """
+    for tree in trees:
+        for seed in cfg.field_seeds:
+            work = tree.clone()
+            if fields:
+                assign_fields(work, fields, seed=seed, value_range=(0, 5))
+            races = program_races_on(program, work)
+            if races:
+                return (
+                    f"tree {work.paths() or ['(root)']} seed {seed}: {races[0]}"
+                )
+    return None
+
+
+def _schedule_divergence(
+    program: A.Program, trees, fields, cfg: OracleConfig
+) -> Optional[str]:
+    """A tree/valuation where interleavings yield different outcomes."""
+    for tree in trees:
+        for seed in cfg.field_seeds:
+            work = tree.clone()
+            if fields:
+                assign_fields(work, fields, seed=seed, value_range=(0, 5))
+            keys, exhaustive = program_schedule_outcomes(
+                program, work, fields=fields, max_schedules=cfg.schedule_cap
+            )
+            if len(keys) > 1:
+                how = "exhaustive" if exhaustive else "sampled"
+                return (
+                    f"tree {work.paths() or ['(root)']} seed {seed}: "
+                    f"{len(keys)} distinct outcomes across {how} schedules"
+                )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Symbolic engine, called raw (no ladder)
+
+
+def _symbolic_race(program: A.Program, cfg: OracleConfig):
+    """Raw symbolic verdict, with the configured fault (if any) armed."""
+    solver = MSOSolver(
+        det_budget=cfg.det_budget, product_budget=cfg.product_budget
+    )
+    guard = ResourceGuard.start(deadline_s=cfg.sym_deadline_s)
+    if cfg.fault is not None:
+        probe, hit, action = cfg.fault
+        fault_mod.disarm_all()
+        fault_mod.arm(probe, hit=hit, action=action)
+    try:
+        return check_data_race_mso(program, solver=solver, guard=guard)
+    finally:
+        guard.unbind_managers()
+        if cfg.fault is not None:
+            fault_mod.disarm_all()
+
+
+# ----------------------------------------------------------------------
+# The oracle
+
+
+def _check_race_case(
+    case: Case, cfg: OracleConfig, result: CaseResult
+) -> None:
+    program, _ = case.programs()
+    fields = program_fields(program)
+    trees = default_scope(case.max_internal)
+
+    interp_race = _interp_race_evidence(program, trees, fields, cfg)
+    result.engines["interp_race"] = interp_race
+
+    bounded = check_data_race_bounded(program, max_internal=case.max_internal)
+    result.engines["bounded"] = str(bounded)
+    result.engines["bounded_found"] = bounded.found
+
+    # Lattice: dynamic race ⇒ bounded race (the abstraction
+    # over-approximates dynamic iterations — Thm 2's sound direction).
+    if interp_race and not bounded.found:
+        result.mismatches.append(Mismatch(
+            "interp-vs-bounded",
+            f"dynamic race exists but bounded says race-free: {interp_race}",
+        ))
+
+    # Race-free fork-join programs are schedule-deterministic; a
+    # divergent outcome under a race-free verdict means the
+    # happens-before relation (or the bounded abstraction) lost a race.
+    if not bounded.found:
+        div = _schedule_divergence(program, trees, fields, cfg)
+        if div:
+            result.mismatches.append(Mismatch(
+                "schedule-divergence",
+                f"bounded says race-free but outcomes diverge: {div}",
+            ))
+
+    if bounded.found and bounded.witness is not None:
+        cells = getattr(bounded.witness, "cells", ())
+        if any(str(c).startswith("field:") for c in cells):
+            rep = replay_race_witness(
+                program, bounded.witness.tree, fields, seeds=cfg.field_seeds
+            )
+            result.engines["bounded_replay"] = rep.detail
+            if not rep.confirmed:
+                result.warnings.append(
+                    f"spurious-witness: bounded race witness did not "
+                    f"replay ({rep.detail})"
+                )
+        else:
+            # Ghost value-cell races (e.g. two parallel calls of the same
+            # function) are abstraction-level only; the dynamic detector
+            # tracks field cells, so there is nothing to replay.
+            result.engines["bounded_replay"] = (
+                "skipped: value-cell witness is not dynamically observable"
+            )
+
+    if not cfg.run_symbolic:
+        return
+    try:
+        sym = _symbolic_race(program, cfg)
+    except SolverInternalError as e:
+        result.mismatches.append(Mismatch(
+            "engine-error", f"symbolic engine failed: {e}"
+        ))
+        return
+    result.engines["symbolic"] = str(sym)
+    result.engines["symbolic_status"] = sym.status
+    result.engines["symbolic_found"] = (
+        sym.found if sym.status == "decided" else None
+    )
+
+    if sym.status != "decided":
+        # PR 2 invariant: an undecided run never carries a witness.
+        if sym.witness is not None:
+            result.mismatches.append(Mismatch(
+                "stale-witness",
+                f"symbolic status {sym.status!r} carries a witness",
+            ))
+        return
+
+    if sym.found and sym.witness is None:
+        result.mismatches.append(Mismatch(
+            "missing-witness", "symbolic race verdict carries no witness"
+        ))
+    if not sym.found:
+        # Symbolic race-free is a claim over *all* trees; any concrete
+        # or bounded race on the scope refutes it outright.
+        if bounded.found:
+            result.mismatches.append(Mismatch(
+                "bounded-vs-symbolic",
+                f"bounded found a race but symbolic proved race-free: "
+                f"{bounded.witness}",
+            ))
+        if interp_race:
+            result.mismatches.append(Mismatch(
+                "interp-vs-symbolic",
+                f"dynamic race exists but symbolic proved race-free: "
+                f"{interp_race}",
+            ))
+    elif sym.witness is not None:
+        rep = replay_race_witness(
+            program, sym.witness.tree, fields, seeds=cfg.field_seeds
+        )
+        result.engines["symbolic_replay"] = rep.detail
+        if not rep.confirmed:
+            result.warnings.append(
+                f"spurious-witness: symbolic race witness did not replay "
+                f"({rep.detail})"
+            )
+
+
+def _concrete_divergence(
+    p: A.Program, q: A.Program, trees, fields, cfg: OracleConfig
+) -> Optional[str]:
+    """A scope tree/valuation where the two programs observably differ
+    under the deterministic left-first schedule."""
+    for tree in trees:
+        for seed in cfg.field_seeds:
+            base = tree.clone()
+            if fields:
+                assign_fields(base, fields, seed=seed, value_range=(0, 5))
+            ra = run(p, base)
+            rb = run(q, base)
+            if ra.returns != rb.returns:
+                return (
+                    f"tree {base.paths() or ['(root)']} seed {seed}: "
+                    f"returns {ra.returns} vs {rb.returns}"
+                )
+            if fields and ra.field_snapshot(fields) != rb.field_snapshot(fields):
+                return (
+                    f"tree {base.paths() or ['(root)']} seed {seed}: "
+                    "heap states differ"
+                )
+    return None
+
+
+def _check_equiv_case(
+    case: Case, cfg: OracleConfig, result: CaseResult
+) -> None:
+    p, q = case.programs()
+    assert q is not None
+    fields = sorted(set(program_fields(p)) | set(program_fields(q)))
+    trees = default_scope(case.max_internal)
+    mapping = correspondence_by_key(p, q, strict=False)
+    # Thm 3 needs a *total* non-call correspondence; with a partial one
+    # an "equivalent" verdict is outside the API's contract, so the
+    # concrete-divergence rule is not escalated to a mismatch.
+    total_mapping = all(
+        b.sid in mapping for b in BlockTable(p).all_noncalls
+    )
+    result.engines["total_mapping"] = total_mapping
+
+    # Thm 3's guarantee only applies to race-free programs (footnote 7);
+    # the concrete-divergence rule is gated on that precondition.
+    p_racefree = not check_data_race_bounded(
+        p, max_internal=case.max_internal
+    ).found
+    q_racefree = not check_data_race_bounded(
+        q, max_internal=case.max_internal
+    ).found
+    result.engines["precondition_racefree"] = p_racefree and q_racefree
+
+    divergence = (
+        _concrete_divergence(p, q, trees, fields, cfg)
+        if p_racefree and q_racefree
+        else None
+    )
+    result.engines["concrete_divergence"] = divergence
+
+    bnd = check_equivalence(
+        p, q, mapping, engine="bounded",
+        max_internal=case.max_internal, replay=False,
+    )
+    result.engines["bounded"] = bnd.verdict
+
+    if bnd.verdict == "equivalent" and divergence:
+        if total_mapping:
+            result.mismatches.append(Mismatch(
+                "concrete-vs-equivalent",
+                f"bounded says equivalent but concrete runs differ: "
+                f"{divergence}",
+            ))
+        else:
+            result.warnings.append(
+                "partial-correspondence: equivalent verdict under a "
+                f"partial mapping while concrete runs differ: {divergence}"
+            )
+
+    if not cfg.run_symbolic:
+        return
+    if cfg.fault is not None:
+        probe, hit, action = cfg.fault
+        fault_mod.disarm_all()
+        fault_mod.arm(probe, hit=hit, action=action)
+    try:
+        sym = check_equivalence(
+            p, q, mapping, engine="mso",
+            det_budget=cfg.det_budget,
+            mso_deadline_s=cfg.sym_deadline_s, replay=False,
+        )
+    except SolverInternalError as e:
+        result.mismatches.append(Mismatch(
+            "engine-error", f"symbolic engine failed: {e}"
+        ))
+        return
+    finally:
+        if cfg.fault is not None:
+            fault_mod.disarm_all()
+    result.engines["symbolic"] = sym.verdict
+    result.engines["symbolic_status"] = sym.details.get("mso_status")
+
+    if sym.verdict == "equivalent" and sym.engine != "bisim":
+        if divergence and total_mapping:
+            result.mismatches.append(Mismatch(
+                "concrete-vs-equivalent",
+                f"symbolic says equivalent (all trees) but concrete runs "
+                f"differ: {divergence}",
+            ))
+        if bnd.verdict == "not-equivalent":
+            result.mismatches.append(Mismatch(
+                "bounded-vs-symbolic",
+                "bounded found a conflict on the scope but symbolic "
+                "proved equivalence over all trees",
+            ))
+
+
+def run_case(case: Case, cfg: OracleConfig = OracleConfig()) -> CaseResult:
+    """Run one case through every engine and check the lattice."""
+    t0 = time.perf_counter()
+    result = CaseResult(case=case)
+    if case.kind == "race":
+        _check_race_case(case, cfg, result)
+    else:
+        _check_equiv_case(case, cfg, result)
+    result.elapsed = time.perf_counter() - t0
+    return result

@@ -1,0 +1,218 @@
+"""Delta-debugging shrinker for conformance mismatches.
+
+Given a failing :class:`~repro.conformance.oracle.Case` and a predicate
+``still_fails``, greedily applies single-step reductions while the
+predicate keeps holding:
+
+* drop a whole (non-entry) function;
+* drop one statement from a ``Seq`` / one branch from a ``Par`` (or
+  unwrap a single surviving branch);
+* replace an ``If`` by its then- or else-branch (guard simplification);
+* drop one assignment from a block, or simplify an assigned expression
+  to ``0``;
+* shrink the tree scope (``max_internal`` — the bounded/interpreter
+  engines enumerate ``all_shapes`` up to it).
+
+Candidates are rebuilt functionally (tuples in, tuples out), re-printed,
+re-parsed and re-validated; anything the validator rejects is skipped,
+so the shrinker can propose aggressively.  Each accepted step strictly
+decreases ``(statements + non-constant expressions + scope)``, so the
+loop terminates; a wall-clock budget caps pathological predicates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, List, Optional
+
+from ..lang import ast as A
+from ..lang.parser import parse_program
+from ..lang.printer import program_source
+from ..lang.validate import validate
+from .oracle import Case
+
+__all__ = ["shrink_case", "case_size"]
+
+_ZERO = A.Const(0)
+
+
+# ----------------------------------------------------------------------
+# Single-step statement reductions (functional rebuild)
+
+
+def _assign_variants(a: A.Assign) -> Iterator[A.Assign]:
+    """Simplify one assignment's right-hand side to ``0``."""
+    if isinstance(a, A.FieldAssign) and a.expr != _ZERO:
+        yield A.FieldAssign(a.loc, a.fieldname, _ZERO)
+    elif isinstance(a, A.VarAssign) and a.expr != _ZERO:
+        yield A.VarAssign(a.name, _ZERO)
+    elif isinstance(a, A.Return) and any(e != _ZERO for e in a.exprs):
+        yield A.Return(tuple(_ZERO for _ in a.exprs))
+
+
+def _stmt_variants(s: A.Stmt) -> Iterator[A.Stmt]:
+    """Every single-edit reduction of the statement subtree."""
+    if isinstance(s, A.Seq):
+        if len(s.stmts) > 1:
+            for i in range(len(s.stmts)):
+                rest = s.stmts[:i] + s.stmts[i + 1:]
+                yield rest[0] if len(rest) == 1 else A.Seq(rest)
+        for i, sub in enumerate(s.stmts):
+            for v in _stmt_variants(sub):
+                yield A.Seq(s.stmts[:i] + (v,) + s.stmts[i + 1:])
+    elif isinstance(s, A.Par):
+        for i in range(len(s.stmts)):
+            rest = s.stmts[:i] + s.stmts[i + 1:]
+            if len(rest) == 1:
+                yield rest[0]
+            elif rest:
+                yield A.Par(rest)
+        for i, sub in enumerate(s.stmts):
+            for v in _stmt_variants(sub):
+                yield A.Par(s.stmts[:i] + (v,) + s.stmts[i + 1:])
+    elif isinstance(s, A.If):
+        yield s.then
+        if s.els is not None:
+            yield s.els
+            yield A.If(s.cond, s.then, None)
+        for v in _stmt_variants(s.then):
+            yield A.If(s.cond, v, s.els)
+        if s.els is not None:
+            for v in _stmt_variants(s.els):
+                yield A.If(s.cond, s.then, v)
+    elif isinstance(s, A.AssignBlock):
+        if len(s.assigns) > 1:
+            for i in range(len(s.assigns)):
+                yield A.AssignBlock(s.assigns[:i] + s.assigns[i + 1:])
+        for i, a in enumerate(s.assigns):
+            for v in _assign_variants(a):
+                yield A.AssignBlock(s.assigns[:i] + (v,) + s.assigns[i + 1:])
+    # CallStmt / Skip: dropped via their parent Seq, nothing inside.
+
+
+def _program_variants(program: A.Program) -> Iterator[A.Program]:
+    """Single-edit reductions of the whole program."""
+    names = list(program.funcs)
+    for drop in names:
+        if drop == program.entry or len(names) == 1:
+            continue
+        funcs = {n: f for n, f in program.funcs.items() if n != drop}
+        yield A.Program(funcs, entry=program.entry, name=program.name)
+    for name, f in program.funcs.items():
+        for v in _stmt_variants(f.body):
+            funcs = dict(program.funcs)
+            funcs[name] = A.Func(
+                f.name, f.loc_param, f.int_params, v, f.n_returns
+            )
+            yield A.Program(funcs, entry=program.entry, name=program.name)
+
+
+def _source_variants(source: str, name: str) -> Iterator[str]:
+    """Valid reduced sources: rebuild, print, reparse, validate."""
+    program = parse_program(source, name=name)
+    seen = {program_source(program)}
+    for cand in _program_variants(program):
+        try:
+            text = program_source(cand)
+            if text in seen:
+                continue
+            seen.add(text)
+            validate(parse_program(text, name=name))
+        except Exception:
+            continue
+        yield text
+
+
+# ----------------------------------------------------------------------
+# Size metric + the greedy loop
+
+
+def _stmt_size(s: A.Stmt) -> int:
+    if isinstance(s, (A.Seq, A.Par)):
+        return 1 + sum(_stmt_size(x) for x in s.stmts)
+    if isinstance(s, A.If):
+        return 1 + _stmt_size(s.then) + (
+            _stmt_size(s.els) if s.els is not None else 0
+        )
+    if isinstance(s, A.AssignBlock):
+        nonzero = 0
+        for a in s.assigns:
+            if isinstance(a, A.Return):
+                nonzero += sum(1 for e in a.exprs if e != _ZERO)
+            elif getattr(a, "expr", None) != _ZERO:
+                nonzero += 1
+        return 1 + len(s.assigns) + nonzero
+    return 1
+
+
+def case_size(case: Case) -> int:
+    """The metric the shrinker drives down (for tests and reporting)."""
+    total = case.max_internal
+    for source, name in ((case.source, "p"), (case.source2, "q")):
+        if source is None:
+            continue
+        prog = parse_program(source, name=name)
+        total += sum(1 + _stmt_size(f.body) for f in prog.funcs.values())
+    return total
+
+
+def _case_candidates(case: Case) -> Iterator[Case]:
+    """Single-step reductions of the case, biggest wins first."""
+    if case.max_internal > 1:
+        yield Case(
+            kind=case.kind, source=case.source, source2=case.source2,
+            max_internal=case.max_internal - 1, seed=case.seed,
+            name=case.name,
+        )
+    for text in _source_variants(case.source, "p"):
+        source2 = text if (
+            case.source2 is not None and case.source2 == case.source
+        ) else case.source2
+        yield Case(
+            kind=case.kind, source=text, source2=source2,
+            max_internal=case.max_internal, seed=case.seed, name=case.name,
+        )
+    if case.source2 is not None and case.source2 != case.source:
+        for text in _source_variants(case.source2, "q"):
+            yield Case(
+                kind=case.kind, source=case.source, source2=text,
+                max_internal=case.max_internal, seed=case.seed,
+                name=case.name,
+            )
+
+
+def shrink_case(
+    case: Case,
+    still_fails: Callable[[Case], bool],
+    budget_s: float = 60.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> Case:
+    """Greedy ddmin: accept any single-step reduction that still fails.
+
+    Identity pairs are shrunk in lockstep (both sides get the same
+    reduced source), so an ``identity`` equivalence case stays an
+    identity pair all the way down.  Returns the smallest failing case
+    found within the budget (the original if nothing reduced).
+    """
+    deadline = time.perf_counter() + budget_s
+    cur = case
+    improved = True
+    while improved and time.perf_counter() < deadline:
+        improved = False
+        for cand in _case_candidates(cur):
+            if time.perf_counter() >= deadline:
+                break
+            try:
+                ok = still_fails(cand)
+            except Exception:
+                ok = False
+            if ok:
+                if log is not None:
+                    log(
+                        f"shrink: {case_size(cur)} -> {case_size(cand)} "
+                        f"(scope {cand.max_internal})"
+                    )
+                cur = cand
+                improved = True
+                break
+    return cur

@@ -56,8 +56,10 @@ class VerificationResult:
     """Uniform result of a verification query.
 
     ``details["attempts"]`` lists every ladder rung that ran (rung name,
-    engine, limits, outcome, elapsed); ``details["decided_by"]`` names
-    the rung whose verdict is reported (``None`` when ``unknown``).
+    engine, limits, outcome, elapsed, and the rung's raw ``found``
+    verdict — kept even when a later rung decides, so per-engine answers
+    stay inspectable); ``details["decided_by"]`` names the rung whose
+    verdict is reported (``None`` when ``unknown``).
     """
 
     query: str
@@ -110,13 +112,19 @@ def _record_attempt(
     outcome: str,
     t0: float,
     note: Optional[str] = None,
+    found: Optional[bool] = None,
 ) -> None:
+    """``found`` is the rung's *raw* verdict — True (counterexample),
+    False (clean), or None (undecided/errored) — recorded for every rung
+    even when a later rung ends up deciding the query, so differential
+    oracles can cross-check the rungs against each other."""
     entry: Dict[str, object] = {
         "rung": rung,
         "engine": engine,
         "limits": limits,
         "outcome": outcome,
         "elapsed": round(time.perf_counter() - t0, 6),
+        "found": found,
     }
     if note is not None:
         entry["note"] = note
@@ -171,6 +179,7 @@ def _symbolic_ladder(
         sym.status,
         t0,
         note="counterexample" if sym.found else None,
+        found=sym.found if sym.status == "decided" else None,
     )
     if sym.status != "budget" or engine != "auto":
         return sym, "mso"
@@ -208,6 +217,7 @@ def _symbolic_ladder(
         sym2.status,
         t1,
         note="counterexample" if sym2.found else None,
+        found=sym2.found if sym2.status == "decided" else None,
     )
     if sym2.status == "decided":
         return sym2, "mso-retry"
@@ -253,6 +263,7 @@ def _bounded_ladder(
             "decided",
             t0,
             note="counterexample" if bnd.found else None,
+            found=bnd.found,
         )
         return bnd, scope
     return None, None

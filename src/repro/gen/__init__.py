@@ -1,0 +1,38 @@
+"""Seeded program/query generator library for fuzzing and conformance.
+
+Promotes the ad-hoc hypothesis strategies that used to live in
+``tests/test_fuzz.py`` into a reusable library:
+
+* :mod:`repro.gen.source` — the ``ChoiceSource`` abstraction every
+  generator is written against, with a seeded-RNG backend
+  (:class:`RandomSource`) so all generation is reproducible from a seed;
+* :mod:`repro.gen.programs` — random *valid* Retreet programs
+  (descending recursion, guarded dereferences, consistent arities),
+  race-query and equivalence-query builders;
+* :mod:`repro.gen.strategies` — optional hypothesis strategies built on
+  the same generators (imported lazily; hypothesis is a test-only
+  dependency and must not be required at runtime).
+
+The conformance subsystem (:mod:`repro.conformance`) and the property
+tests both draw from these generators, so "the program space we fuzz" is
+defined exactly once.
+"""
+
+from .programs import (
+    GenConfig,
+    gen_equivalence_query,
+    gen_program,
+    gen_program_source,
+    gen_race_query,
+)
+from .source import ChoiceSource, RandomSource
+
+__all__ = [
+    "ChoiceSource",
+    "RandomSource",
+    "GenConfig",
+    "gen_program_source",
+    "gen_program",
+    "gen_race_query",
+    "gen_equivalence_query",
+]

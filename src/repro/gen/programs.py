@@ -1,0 +1,189 @@
+"""Random valid Retreet programs and verification queries.
+
+The generated space mirrors the hypothesis strategies the fuzz tests
+grew up with: ``k`` mutually recursive functions ``F0..Fk-1`` whose
+bodies descend into ``n.l``/``n.r`` (guarded by the ``n == nil`` base
+case), perform a few (possibly guarded) field updates, and return an
+arithmetic expression; ``Main`` composes one or two root calls either
+sequentially or in parallel.  Every program the generators emit parses,
+validates, and terminates on every tree (descending recursion only).
+
+Queries come in two kinds:
+
+* a **race query** — one program, biased toward a parallel ``Main`` so
+  the data-race machinery is actually exercised;
+* an **equivalence query** — a program pair plus its non-call block
+  correspondence.  Pairs are either *identity* (same source reparsed;
+  must be equivalent) or *independent* (two unrelated programs; the
+  engines must never call them equivalent when their concrete runs
+  observably differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..lang import ast as A
+from ..lang.parser import parse_program
+from ..lang.validate import validate
+from .source import ChoiceSource, RandomSource
+
+__all__ = [
+    "GenConfig",
+    "RaceQuery",
+    "EquivalenceQuery",
+    "gen_aexpr",
+    "gen_program_source",
+    "gen_program",
+    "gen_race_query",
+    "gen_equivalence_query",
+]
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs bounding the generated program space."""
+
+    fields: Tuple[str, ...] = ("a", "b", "c")
+    max_funcs: int = 3
+    expr_depth: int = 2
+    max_callees: int = 2
+    max_updates: int = 2
+    # None: coin flip between a sequential and a parallel Main (when two
+    # root calls are drawn); True/False force the choice.
+    parallel_main: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class RaceQuery:
+    """One generated data-race query."""
+
+    source: str
+    seed: Optional[int] = None
+
+    def program(self, name: str = "fuzz") -> A.Program:
+        return parse_program(self.source, name=name)
+
+
+@dataclass(frozen=True)
+class EquivalenceQuery:
+    """One generated equivalence query: a program pair.
+
+    ``pair_kind`` is ``"identity"`` (same source; equivalence must hold)
+    or ``"independent"`` (unrelated programs; anything goes, but an
+    ``equivalent`` verdict must be consistent with their concrete runs).
+    """
+
+    source: str
+    source2: str
+    pair_kind: str
+    seed: Optional[int] = None
+
+    def programs(self) -> Tuple[A.Program, A.Program]:
+        return (
+            parse_program(self.source, name="fuzz-p"),
+            parse_program(self.source2, name="fuzz-q"),
+        )
+
+
+def gen_aexpr(src: ChoiceSource, cfg: GenConfig, depth: Optional[int] = None) -> str:
+    """A random arithmetic expression over constants and ``n`` fields."""
+    depth = cfg.expr_depth if depth is None else depth
+    kinds = ["const", "field", "field"] + (["add", "sub"] if depth > 0 else [])
+    kind = src.choice(kinds)
+    if kind == "const":
+        return str(src.randint(-3, 9))
+    if kind == "field":
+        return f"n.{src.choice(cfg.fields)}"
+    op = "+" if kind == "add" else "-"
+    return f"({gen_aexpr(src, cfg, depth - 1)} {op} {gen_aexpr(src, cfg, depth - 1)})"
+
+
+def _gen_body(src: ChoiceSource, cfg: GenConfig, n_funcs: int) -> str:
+    """The else-branch of a function: calls on children + field updates."""
+    lines: List[str] = []
+    callees = src.sublist(list(range(n_funcs)), 0, cfg.max_callees)
+    for i, c in enumerate(callees):
+        d = src.choice(["l", "r"])
+        lines.append(f"v{i} = F{c}(n.{d});")
+    for _ in range(src.randint(0, cfg.max_updates)):
+        f = src.choice(cfg.fields)
+        if src.boolean():
+            lines.append(f"n.{f} = {gen_aexpr(src, cfg)};")
+        else:
+            g = src.choice(cfg.fields)
+            lines.append(
+                f"if (n.{g} > {src.randint(0, 3)}) "
+                f"{{ n.{f} = {gen_aexpr(src, cfg)} }};"
+            )
+    lines.append(f"return {gen_aexpr(src, cfg)}")
+    return "\n    ".join(lines)
+
+
+def gen_program_source(src: ChoiceSource, cfg: GenConfig = GenConfig()) -> str:
+    """A random valid Retreet program, as source text."""
+    n_funcs = src.randint(1, cfg.max_funcs)
+    chunks = []
+    for i in range(n_funcs):
+        body = _gen_body(src, cfg, n_funcs)
+        chunks.append(
+            f"F{i}(n) {{\n  if (n == nil) {{ return 0 }}\n"
+            f"  else {{\n    {body}\n  }}\n}}"
+        )
+    want_par = (
+        src.boolean() if cfg.parallel_main is None else cfg.parallel_main
+    )
+    calls = src.sublist(list(range(n_funcs)), 2 if want_par else 1, 2)
+    if len(calls) == 2 and want_par:
+        main = (
+            "Main(n) {\n  { "
+            + f"x0 = F{calls[0]}(n) || x1 = F{calls[1]}(n)"
+            + " };\n  return x0\n}"
+        )
+    else:
+        body = ";\n  ".join(f"x{i} = F{c}(n)" for i, c in enumerate(calls))
+        main = f"Main(n) {{\n  {body};\n  return x0\n}}"
+    chunks.append(main)
+    return "\n".join(chunks)
+
+
+def gen_program(
+    seed: int, cfg: GenConfig = GenConfig(), name: str = "fuzz"
+) -> A.Program:
+    """Parse + validate the program generated from ``seed``."""
+    prog = parse_program(gen_program_source(RandomSource(seed), cfg), name=name)
+    validate(prog)
+    return prog
+
+
+def gen_race_query(seed: int, cfg: GenConfig = GenConfig()) -> RaceQuery:
+    """A data-race query, biased toward parallel ``Main`` compositions.
+
+    Three out of four seeds force a parallel root composition (a purely
+    sequential program is race-free by construction, so an unbiased
+    stream would starve the interesting direction of the lattice).
+    """
+    if cfg.parallel_main is None and seed % 4 != 3:
+        cfg = replace(cfg, parallel_main=True)
+    source = gen_program_source(RandomSource(seed), cfg)
+    validate(parse_program(source, name="fuzz"))
+    return RaceQuery(source=source, seed=seed)
+
+
+def gen_equivalence_query(
+    seed: int, cfg: GenConfig = GenConfig()
+) -> EquivalenceQuery:
+    """An equivalence query: identity pair (even seeds) or independent
+    pair (odd seeds)."""
+    src = RandomSource(seed)
+    source = gen_program_source(src, cfg)
+    if seed % 2 == 0:
+        source2, pair_kind = source, "identity"
+    else:
+        source2, pair_kind = gen_program_source(src, cfg), "independent"
+    for s, nm in ((source, "fuzz-p"), (source2, "fuzz-q")):
+        validate(parse_program(s, name=nm))
+    return EquivalenceQuery(
+        source=source, source2=source2, pair_kind=pair_kind, seed=seed
+    )

@@ -1,0 +1,58 @@
+"""Decision sources for the generators.
+
+Every generator in :mod:`repro.gen.programs` draws its random choices
+through a :class:`ChoiceSource`, so the same generator code serves two
+backends:
+
+* :class:`RandomSource` — a seeded ``random.Random``; fully
+  deterministic from the seed, used by the conformance fuzz loop and the
+  deterministic property tests;
+* a hypothesis-backed source (:mod:`repro.gen.strategies`) — every
+  choice funnels through one ``draw`` primitive, so hypothesis can
+  shrink generated programs natively.
+
+All derived choices (``choice``, ``boolean``, ``sublist``) are expressed
+in terms of ``randint`` so a backend only implements one primitive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+__all__ = ["ChoiceSource", "RandomSource"]
+
+T = TypeVar("T")
+
+
+class ChoiceSource:
+    """A stream of bounded integer decisions; everything else derives."""
+
+    def randint(self, lo: int, hi: int) -> int:
+        """An integer in ``[lo, hi]`` inclusive."""
+        raise NotImplementedError
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise ValueError("choice from empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def boolean(self) -> bool:
+        return bool(self.randint(0, 1))
+
+    def sublist(self, seq: Sequence[T], min_size: int, max_size: int) -> List[T]:
+        """A list of ``min_size``..``max_size`` elements drawn (with
+        replacement) from ``seq``."""
+        n = self.randint(min_size, max_size)
+        return [self.choice(seq) for _ in range(n)]
+
+
+class RandomSource(ChoiceSource):
+    """Seeded-RNG backend; the whole program is a function of the seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)

@@ -1,0 +1,51 @@
+"""Hypothesis strategies over the :mod:`repro.gen` generators.
+
+Kept separate from the core generators so hypothesis stays a test-only
+dependency: importing :mod:`repro.gen` never touches it, and this module
+raises a clear error only when a strategy is actually requested without
+hypothesis installed.
+
+A :class:`DrawSource` funnels every generator decision through one
+``draw(st.integers(lo, hi))`` primitive, so hypothesis can shrink the
+decision stream — and therefore the generated program — natively.
+"""
+
+from __future__ import annotations
+
+from .programs import GenConfig, gen_program_source
+from .source import ChoiceSource
+
+__all__ = ["DrawSource", "program_sources", "HAVE_HYPOTHESIS"]
+
+try:  # pragma: no cover - exercised by which test env runs
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    st = None
+    HAVE_HYPOTHESIS = False
+
+
+class DrawSource(ChoiceSource):
+    """ChoiceSource backed by a hypothesis ``draw`` function."""
+
+    def __init__(self, draw) -> None:
+        self._draw = draw
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._draw(st.integers(lo, hi))
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def program_sources(draw, cfg: GenConfig = GenConfig()) -> str:
+        """Strategy yielding random valid Retreet program sources."""
+        return gen_program_source(DrawSource(draw), cfg)
+
+else:  # pragma: no cover
+
+    def program_sources(cfg: GenConfig = GenConfig()):
+        raise RuntimeError(
+            "hypothesis is not installed; repro.gen.strategies requires it"
+        )

@@ -10,6 +10,7 @@ from .schedules import (
     Scheduler,
     all_schedules,
     distinct_outcomes,
+    program_schedule_outcomes,
 )
 from .trace import Event, Iteration, Trace, concurrent
 
@@ -18,5 +19,6 @@ __all__ = [
     "RacePair", "find_races", "program_races_on",
     "LeftFirst", "RandomScheduler", "ReplayScheduler", "RoundRobin",
     "Scheduler", "all_schedules", "distinct_outcomes",
+    "program_schedule_outcomes",
     "Event", "Iteration", "Trace", "concurrent",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "ReplayScheduler",
     "all_schedules",
     "distinct_outcomes",
+    "program_schedule_outcomes",
 ]
 
 
@@ -139,3 +140,42 @@ def distinct_outcomes(
         if k not in seen:
             seen[k] = outcome
     return list(seen.values())
+
+
+def program_schedule_outcomes(
+    program,
+    tree,
+    fields: Sequence[str] = (),
+    max_schedules: int = 240,
+    sample_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+):
+    """Distinct observable outcomes of ``program`` on ``tree`` across
+    interleavings: ``(outcome_keys, exhaustive)``.
+
+    An outcome key is the returned tuple plus a canonical snapshot of
+    every field the final heap carries.  Interleavings are enumerated
+    exhaustively via :func:`all_schedules` up to ``max_schedules``; when
+    the schedule space is larger, falls back to left-first, round-robin
+    and ``sample_seeds`` random schedules and reports ``exhaustive=
+    False``.  A race-free program must yield exactly one key — the
+    conformance oracle uses this as the interpreter-level ground truth
+    for ``race-free`` verdicts.
+    """
+    from .interpreter import run  # local: interpreter imports this module
+
+    def outcome(sched: Scheduler):
+        r = run(program, tree, scheduler=sched, record_events=False)
+        snap = r.field_snapshot(list(fields)) if fields else {}
+        canon = tuple(
+            (path, tuple(sorted(vals.items())))
+            for path, vals in sorted(snap.items())
+        )
+        return (r.returns, canon)
+
+    try:
+        keys = set(all_schedules(outcome, max_schedules=max_schedules))
+        return sorted(keys), True
+    except RuntimeError:
+        keys = {outcome(LeftFirst()), outcome(RoundRobin())}
+        keys.update(outcome(RandomScheduler(seed=s)) for s in sample_seeds)
+        return sorted(keys), False

@@ -1,9 +1,15 @@
 """Property-based fuzzing over randomly generated Retreet programs.
 
-A hypothesis strategy builds random *valid* programs (descending recursion,
-guarded dereferences, consistent arities); every pipeline stage must handle
-them: print/parse round-trip, validation, block relations, interpretation,
-configuration enumeration, and the bounded race checker.
+The strategies live in :mod:`repro.gen` — a seeded generator library
+shared with the conformance fuzz loop (``repro fuzz``).  Hypothesis
+drives the same generators through a :class:`~repro.gen.DrawSource`, so
+anything hypothesis shrinks here is a program the CLI fuzzer could have
+produced too.  ``derandomize=True`` keeps CI deterministic: the examples
+are a pure function of the strategy, never of a random database.
+
+The deterministic lattice tests at the bottom run fixed seeds from the
+``repro fuzz --seed 0`` case stream through the full three-engine
+oracle; they are the in-suite shadow of the nightly fuzz job.
 """
 
 import pytest
@@ -12,85 +18,20 @@ from hypothesis import strategies as st
 
 from repro.core.bounded import check_data_race_bounded, default_scope
 from repro.core.configurations import ProgramModel, enumerate_configurations
+from repro.conformance import OracleConfig, case_for_seed, run_case
+from repro.gen import GenConfig, RandomSource, gen_program_source
+from repro.gen.strategies import program_sources
 from repro.interp import run
-from repro.lang import BlockTable, parse_program, program_source, validate
+from repro.lang import parse_program, program_source, validate
 from repro.trees.generators import all_shapes, random_tree
 
-FIELDS = ["a", "b", "c"]
-FUNCS = ["F0", "F1", "F2"]
+FIELDS = GenConfig().fields
+
+DETERMINISTIC = settings(max_examples=40, deadline=None, derandomize=True)
 
 
-@st.composite
-def aexprs(draw, depth=2):
-    kind = draw(st.sampled_from(
-        ["const", "field", "selffield"] + (["add", "sub"] if depth else [])
-    ))
-    if kind == "const":
-        return str(draw(st.integers(-3, 9)))
-    if kind == "field":
-        return f"n.{draw(st.sampled_from(FIELDS))}"
-    if kind == "selffield":
-        return f"n.{draw(st.sampled_from(FIELDS))}"
-    op = "+" if kind == "add" else "-"
-    return (
-        f"({draw(aexprs(depth=depth - 1))} {op} {draw(aexprs(depth=depth - 1))})"
-    )
-
-
-@st.composite
-def bodies(draw, fname, n_funcs):
-    """The else-branch of a function: calls on children + field updates."""
-    lines = []
-    callees = draw(
-        st.lists(st.integers(0, n_funcs - 1), min_size=0, max_size=2)
-    )
-    for i, c in enumerate(callees):
-        d = draw(st.sampled_from(["l", "r"]))
-        lines.append(f"v{i} = F{c}(n.{d});")
-    n_updates = draw(st.integers(0, 2))
-    for _ in range(n_updates):
-        f = draw(st.sampled_from(FIELDS))
-        if draw(st.booleans()):
-            lines.append(f"n.{f} = {draw(aexprs())};")
-        else:
-            g = draw(st.sampled_from(FIELDS))
-            lines.append(
-                f"if (n.{g} > {draw(st.integers(0, 3))}) "
-                f"{{ n.{f} = {draw(aexprs())} }};"
-            )
-    lines.append(f"return {draw(aexprs())}")
-    return "\n    ".join(lines)
-
-
-@st.composite
-def programs(draw):
-    n_funcs = draw(st.integers(1, 3))
-    chunks = []
-    for i in range(n_funcs):
-        body = draw(bodies(f"F{i}", n_funcs))
-        chunks.append(
-            f"F{i}(n) {{\n  if (n == nil) {{ return 0 }}\n"
-            f"  else {{\n    {body}\n  }}\n}}"
-        )
-    # Main: sequential or parallel composition of 1-2 root calls.
-    calls = draw(st.lists(st.integers(0, n_funcs - 1), min_size=1, max_size=2))
-    if len(calls) == 2 and draw(st.booleans()):
-        main = (
-            "Main(n) {\n  { "
-            + f"x0 = F{calls[0]}(n) || x1 = F{calls[1]}(n)"
-            + " };\n  return x0\n}"
-        )
-    else:
-        body = ";\n  ".join(
-            f"x{i} = F{c}(n)" for i, c in enumerate(calls)
-        )
-        main = f"Main(n) {{\n  {body};\n  return x0\n}}"
-    chunks.append(main)
-    return "\n".join(chunks)
-
-
-@settings(max_examples=40, deadline=None)
-@given(programs())
+@DETERMINISTIC
+@given(program_sources())
 def test_round_trip_and_validate(src):
     p = parse_program(src, name="fuzz")
     validate(p)
@@ -99,18 +40,19 @@ def test_round_trip_and_validate(src):
     assert program_source(p2) == printed
 
 
-@settings(max_examples=30, deadline=None)
-@given(programs(), st.integers(0, 10), st.integers(0, 99))
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(program_sources(), st.integers(0, 10), st.integers(0, 99))
 def test_interpreter_total(src, n_nodes, seed):
     """Every generated program runs to completion on every tree."""
     p = parse_program(src, name="fuzz")
-    t = random_tree(n_nodes, seed=seed, field_names=FIELDS, value_range=(0, 6))
+    t = random_tree(n_nodes, seed=seed, field_names=list(FIELDS),
+                    value_range=(0, 6))
     r = run(p, t)
     assert isinstance(r.returns, tuple)
 
 
-@settings(max_examples=20, deadline=None)
-@given(programs())
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(program_sources())
 def test_configurations_cover_iterations(src):
     """Every concrete iteration appears as a configuration endpoint —
     the over-approximation direction of the abstraction (Def. 2)."""
@@ -126,11 +68,12 @@ def test_configurations_cover_iterations(src):
             assert it in endpoints, (src, it)
 
 
-@settings(max_examples=15, deadline=None)
-@given(programs())
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(program_sources(GenConfig(parallel_main=True)))
 def test_bounded_race_checker_sound_on_fuzz(src):
     """If the bounded checker says race-free, the dynamic happens-before
-    detector must find no race on any in-scope tree."""
+    detector must find no race on any in-scope tree (the lower edge of
+    the soundness lattice, forced onto parallel programs)."""
     from repro.interp import program_races_on
 
     p = parse_program(src, name="fuzz")
@@ -143,3 +86,38 @@ def test_bounded_race_checker_sound_on_fuzz(src):
                 for i, f in enumerate(FIELDS):
                     node.set(f, (len(node.path) + i) % 5)
             assert program_races_on(p, work) == [], (src, t.paths(True))
+
+
+def test_seeded_generator_is_deterministic():
+    """The same seed must always yield the same program — corpus entries
+    record their seed as provenance."""
+    a = gen_program_source(RandomSource(42))
+    b = gen_program_source(RandomSource(42))
+    assert a == b
+    assert a != gen_program_source(RandomSource(43))
+
+
+# ----------------------------------------------------------------------
+# Deterministic three-engine lattice checks (no hypothesis): fixed cases
+# from the `repro fuzz --seed 0` stream run through the full oracle.
+# Any soundness-lattice violation (bounded race the symbolic engine
+# misses, symbolic race-free with a dynamic race, stale witness, ...)
+# is a mismatch and fails the test.
+
+LATTICE_CASE_INDICES = range(6)
+
+
+@pytest.mark.parametrize("case_index", LATTICE_CASE_INDICES)
+def test_three_engine_lattice_on_seed0_stream(case_index):
+    case = case_for_seed(0, case_index, max_internal=2)
+    result = run_case(case, OracleConfig(sym_deadline_s=20.0))
+    assert result.ok, (
+        case.name,
+        [str(m) for m in result.mismatches],
+        result.engines,
+    )
+
+
+def test_lattice_cases_cover_both_kinds():
+    kinds = {case_for_seed(0, i).kind for i in LATTICE_CASE_INDICES}
+    assert kinds == {"race", "equiv"}

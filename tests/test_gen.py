@@ -1,0 +1,101 @@
+"""The seeded generator library behind the conformance fuzzer."""
+
+import pytest
+
+from repro.gen import (
+    GenConfig,
+    RandomSource,
+    gen_equivalence_query,
+    gen_program,
+    gen_program_source,
+    gen_race_query,
+)
+from repro.gen.source import ChoiceSource
+from repro.gen.strategies import HAVE_HYPOTHESIS
+from repro.lang import parse_program, validate
+
+
+class ScriptedSource(ChoiceSource):
+    """Replays a fixed decision stream (always the low bound when it
+    runs out) — for exercising the derived choice helpers."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def randint(self, lo, hi):
+        v = self.script.pop(0) if self.script else lo
+        assert lo <= v <= hi, (lo, v, hi)
+        return v
+
+
+def test_choice_source_derived_helpers():
+    src = ScriptedSource([2, 1, 0, 2, 0, 1])
+    assert src.choice(["x", "y", "z"]) == "z"
+    assert src.boolean() is True
+    assert src.boolean() is False
+    assert src.sublist(["a", "b"], 1, 3) == ["a", "b"]
+
+
+def test_choice_from_empty_sequence_raises():
+    with pytest.raises(ValueError):
+        ScriptedSource([]).choice([])
+
+
+def test_generated_programs_are_valid():
+    for seed in range(30):
+        prog = gen_program(seed)  # parses + validates or raises
+        assert prog.entry in prog.funcs
+
+
+def test_seed_determinism():
+    for seed in (0, 7, 12345):
+        assert gen_program_source(RandomSource(seed)) == gen_program_source(
+            RandomSource(seed)
+        )
+    assert gen_program_source(RandomSource(1)) != gen_program_source(
+        RandomSource(2)
+    )
+
+
+def test_race_queries_biased_toward_parallel_main():
+    """3/4 of seeds force a parallel Main; the stream must actually
+    deliver a strong majority of parallel compositions."""
+    parallel = sum(
+        1 for seed in range(40) if "||" in gen_race_query(seed).source
+    )
+    assert parallel >= 28, parallel
+
+
+def test_race_query_validates_and_is_deterministic():
+    q1 = gen_race_query(9)
+    q2 = gen_race_query(9)
+    assert q1.source == q2.source
+    validate(q1.program())
+
+
+def test_equivalence_pair_kinds():
+    even = gen_equivalence_query(4)
+    odd = gen_equivalence_query(5)
+    assert even.pair_kind == "identity" and even.source == even.source2
+    assert odd.pair_kind == "independent"
+    p, q = odd.programs()
+    validate(p)
+    validate(q)
+
+
+def test_parallel_main_forced_and_forbidden():
+    for seed in range(10):
+        par = gen_program_source(
+            RandomSource(seed), GenConfig(parallel_main=True)
+        )
+        seq = gen_program_source(
+            RandomSource(seed), GenConfig(parallel_main=False)
+        )
+        assert "||" in par
+        assert "||" not in seq
+        validate(parse_program(par, name="p"))
+        validate(parse_program(seq, name="q"))
+
+
+def test_hypothesis_backend_available_in_test_env():
+    assert HAVE_HYPOTHESIS
