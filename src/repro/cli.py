@@ -12,12 +12,28 @@ Commands:
 * ``blocks FILE`` — print the numbered block table (the paper's s0..sn);
 * ``fuzz`` — seeded differential conformance fuzzing: generated queries
   run through all three engines, witnesses replayed, mismatches shrunk
-  to minimal reproducers in a corpus directory.
+  to minimal reproducers in a corpus directory;
+* ``batch MANIFEST`` — a durable, resumable batch of solves over a
+  supervised pool of crash-isolated worker processes (DESIGN.md §9);
+  ``--resume RUN_DIR`` continues a run killed mid-way, recomputing only
+  verdicts that never reached the journal.
 
-The check commands exit 0 when the property holds, 1 on a
-counterexample, and 3 when every engine rung exhausted its resource
-limits (``verdict="unknown"``); ``--deadline``, ``--det-budget`` and
-``--max-internal`` tune those limits.
+Exit codes are uniform across every subcommand:
+
+====  =====================================================
+code  meaning
+====  =====================================================
+0     the property holds / no mismatch / batch clean
+1     a violation was found (race, non-equivalence, mismatch)
+2     usage or environment error (bad flags, unreadable or
+      unparseable input, broken manifest, worker failure)
+3     undecided: every engine rung exhausted its limits
+130   interrupted (SIGINT); partial batch journals survive
+====  =====================================================
+
+``--deadline``, ``--det-budget`` and ``--max-internal`` tune the engine
+limits; ``--isolation process`` sandboxes each solve in a killable
+child process.
 """
 
 from __future__ import annotations
@@ -31,9 +47,17 @@ from .core.api import check_data_race, check_equivalence
 from .core.transform import correspondence_by_key
 from .interp import run as interp_run
 from .lang import BlockTable, parse_program, validate
+from .runtime import ReproError
 from .trees.generators import full_tree, random_tree
 
 __all__ = ["main"]
+
+#: Uniform exit codes (also documented in README.md).
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_ERROR = 2
+EXIT_UNKNOWN = 3
+EXIT_INTERRUPTED = 130
 
 
 def _load(path: str, entry: str):
@@ -55,6 +79,26 @@ def _parse_map(items) -> Dict[str, Set[str]]:
 
 
 def main(argv=None) -> int:
+    """CLI entry point with the uniform exit-code contract.
+
+    Every error path — unreadable files, parse/validation failures,
+    broken manifests, typed solver-runtime errors — exits 2 with a
+    one-line message instead of a traceback; SIGINT exits 130 after
+    noting that any partial batch journal survives.
+    """
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        print("interrupted (partial journal preserved)", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (ReproError, SyntaxError, ValueError, OSError) as e:
+        # Covers ParseError/LexError (SyntaxError), ValidationError and
+        # manifest/JSON errors (ValueError), missing files (OSError).
+        print(f"error: {e}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _dispatch(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     ap.add_argument("--entry", default="Main", help="entry function name")
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -79,11 +123,33 @@ def main(argv=None) -> int:
             help="bounded-engine scope: trees with up to N internal nodes",
         )
 
+    def add_isolation_flags(parser):
+        parser.add_argument(
+            "--isolation",
+            default="inline",
+            choices=["inline", "process"],
+            help="run each solve in-process (inline) or in a sandboxed, "
+                 "supervised worker child (process)",
+        )
+        parser.add_argument(
+            "--wall-s", type=float, metavar="SECONDS", default=None,
+            help="process isolation: wall-clock kill for a worker child",
+        )
+        parser.add_argument(
+            "--cpu-s", type=float, metavar="SECONDS", default=None,
+            help="process isolation: RLIMIT_CPU for a worker child",
+        )
+        parser.add_argument(
+            "--mem-mb", type=int, metavar="MB", default=None,
+            help="process isolation: RLIMIT_AS for a worker child",
+        )
+
     p_race = sub.add_parser("check-race", help="data-race-freeness (Thm 2)")
     p_race.add_argument("file")
     p_race.add_argument("--engine", default="auto",
                         choices=["auto", "mso", "bounded"])
     add_resource_flags(p_race)
+    add_isolation_flags(p_race)
 
     p_fuse = sub.add_parser("check-fusion", help="equivalence (Thm 3)")
     p_fuse.add_argument("original")
@@ -91,6 +157,7 @@ def main(argv=None) -> int:
     p_fuse.add_argument("--engine", default="auto",
                         choices=["auto", "mso", "bounded"])
     add_resource_flags(p_fuse)
+    add_isolation_flags(p_fuse)
     p_fuse.add_argument(
         "--map",
         action="append",
@@ -139,6 +206,37 @@ def main(argv=None) -> int:
                              "must catch it as a mismatch")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
+    add_isolation_flags(p_fuzz)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="durable, resumable batch of solves over crash-isolated "
+             "workers (DESIGN.md §9)",
+    )
+    p_batch.add_argument("manifest", help="batch manifest (JSON)")
+    p_batch.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="run directory for journal/store/results "
+             "(default: <manifest-stem>-run next to the manifest)",
+    )
+    p_batch.add_argument(
+        "--resume", metavar="RUN_DIR", default=None,
+        help="resume a previous run: skip every journaled verdict and "
+             "compute only the rest",
+    )
+    p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="concurrent worker processes (default 1)")
+    p_batch.add_argument(
+        "--isolation", default="process", choices=["inline", "process"],
+        help="process (default): one sandboxed child per solve; "
+             "inline: solve in the driver process (no crash isolation)",
+    )
+    p_batch.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry budget per task for crashed workers (default 2)",
+    )
+    p_batch.add_argument("--quiet", action="store_true",
+                         help="suppress per-task progress lines")
 
     args = ap.parse_args(argv)
 
@@ -152,6 +250,14 @@ def main(argv=None) -> int:
             kw["det_budget"] = args.det_budget
         if args.max_internal is not None:
             kw["max_internal"] = args.max_internal
+        if args.isolation != "inline":
+            kw["isolation"] = args.isolation
+            if args.wall_s is not None:
+                kw["wall_s"] = args.wall_s
+            if args.cpu_s is not None:
+                kw["cpu_s"] = args.cpu_s
+            if args.mem_mb is not None:
+                kw["mem_bytes"] = args.mem_mb * 1024 * 1024
         return kw
 
     def report(res) -> int:
@@ -167,8 +273,8 @@ def main(argv=None) -> int:
                 )
             print("  verdict is unknown: all engine rungs exhausted their "
                   "resource limits", file=sys.stderr)
-            return 3
-        return 0 if res.holds else 1
+            return EXIT_UNKNOWN
+        return EXIT_OK if res.holds else EXIT_VIOLATION
 
     if args.cmd == "check-race":
         prog = _load(args.file, args.entry)
@@ -222,6 +328,18 @@ def main(argv=None) -> int:
         say = (lambda _msg: None) if args.quiet else (
             lambda msg: print(msg, file=sys.stderr)
         )
+        worker_limits = None
+        if args.isolation == "process":
+            from .service import Limits
+
+            worker_limits = Limits(
+                wall_s=args.wall_s if args.wall_s is not None else 120.0,
+                cpu_s=args.cpu_s,
+                mem_bytes=(
+                    args.mem_mb * 1024 * 1024
+                    if args.mem_mb is not None else None
+                ),
+            )
         rep = run_fuzz(
             seed=args.seed,
             budget_s=args.budget_s,
@@ -231,11 +349,40 @@ def main(argv=None) -> int:
             max_cases=args.max_cases,
             cfg=cfg,
             log=say,
+            isolation=args.isolation if args.isolation != "inline" else None,
+            worker_limits=worker_limits,
         )
         print(rep.summary())
-        return 0 if rep.ok else 1
+        return EXIT_OK if rep.ok else EXIT_VIOLATION
 
-    return 2  # pragma: no cover
+    if args.cmd == "batch":
+        from .service import RetryPolicy, run_batch
+
+        resume = args.resume is not None
+        if resume:
+            run_dir = Path(args.resume)
+        elif args.run_dir is not None:
+            run_dir = Path(args.run_dir)
+        else:
+            manifest = Path(args.manifest)
+            run_dir = manifest.parent / f"{manifest.stem}-run"
+        say = (lambda _msg: None) if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        )
+        report_b = run_batch(
+            Path(args.manifest),
+            run_dir,
+            jobs=args.jobs,
+            isolation=args.isolation,
+            resume=resume,
+            policy=RetryPolicy(max_attempts=1 + max(0, args.retries)),
+            log=say,
+        )
+        print(report_b.summary())
+        print(f"results: {run_dir / 'results.json'}")
+        return report_b.exit_code
+
+    return EXIT_ERROR  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,7 +17,10 @@ Entry schema (all unknown keys are preserved on round-trip)::
       "source":      "<retreet program>",
       "source2":     null | "<retreet program>",
       "oracle":      {optional OracleConfig overrides},
+      "isolation":   null | "process",
+      "limits":      {optional worker rlimits: wall_s, cpu_s, mem_bytes},
       "expect":      {"mismatches": 0,
+                      optional "mismatch_kinds": ["engine-error", ...],
                       optional "symbolic_status": "...",
                       optional "bounded_found": true|false}
     }
@@ -25,6 +28,11 @@ Entry schema (all unknown keys are preserved on round-trip)::
 ``oracle`` overrides let an entry pin engine limits — e.g. the T1.3
 regression pins ``product_budget`` and asserts the raw symbolic status
 is ``"budget"``, keeping PR 2's deadline-vs-budget taxonomy honest.
+``isolation: "process"`` runs the entry's oracle evaluation in a
+sandboxed worker child under the entry's ``limits`` (DESIGN.md §9) — a
+child that blows its rlimits or crashes becomes a deterministic
+``engine-error`` mismatch, which is how the crash-reproducer entry
+exercises that path forever.
 
 To reproduce a fuzz entry from its seed, see the ``origin`` field:
 ``repro fuzz --seed N`` regenerates the exact pre-shrink query stream.
@@ -60,6 +68,8 @@ class CorpusEntry:
     origin: str = ""
     oracle_overrides: Dict[str, object] = None
     expect: Dict[str, object] = None
+    isolation: Optional[str] = None
+    limits: Dict[str, object] = None
     path: Optional[Path] = None
 
     def __post_init__(self) -> None:
@@ -67,6 +77,8 @@ class CorpusEntry:
             self.oracle_overrides = {}
         if self.expect is None:
             self.expect = {"mismatches": 0}
+        if self.limits is None:
+            self.limits = {}
 
     def config(self, base: OracleConfig = OracleConfig()) -> OracleConfig:
         kw = {
@@ -92,6 +104,8 @@ def _entry_from_dict(data: Dict[str, object], path: Optional[Path]) -> CorpusEnt
         origin=data.get("origin", ""),
         oracle_overrides=dict(data.get("oracle", {})),
         expect=dict(data.get("expect", {"mismatches": 0})),
+        isolation=data.get("isolation"),
+        limits=dict(data.get("limits", {})),
         path=path,
     )
 
@@ -151,5 +165,20 @@ def save_entry(
 def run_entry(
     entry: CorpusEntry, base: OracleConfig = OracleConfig()
 ) -> CaseResult:
-    """Run one corpus entry through the oracle with its overrides."""
+    """Run one corpus entry through the oracle with its overrides.
+
+    Entries marked ``isolation: "process"`` evaluate in a sandboxed
+    worker child under the entry's ``limits``.  Corpus entries are
+    deterministic reproducers, so the worker runs single-shot — a
+    retry of a deterministic rlimit crash would only re-crash.
+    """
+    if entry.isolation == "process":
+        from ..service import Limits, RetryPolicy, run_case_isolated
+
+        return run_case_isolated(
+            entry.case,
+            entry.config(base),
+            limits=Limits.from_dict(entry.limits),
+            policy=RetryPolicy(max_attempts=1),
+        )
     return run_case(entry.case, entry.config(base))

@@ -94,9 +94,30 @@ def run_fuzz(
     max_cases: Optional[int] = None,
     cfg: OracleConfig = OracleConfig(),
     log: Optional[Callable[[str], None]] = None,
+    isolation: Optional[str] = None,
+    worker_limits=None,
 ) -> FuzzReport:
     """Fuzz until ``budget_s`` wall-clock seconds (or ``max_cases``) are
-    spent; shrink and persist every mismatch found."""
+    spent; shrink and persist every mismatch found.
+
+    With ``isolation="process"`` every oracle evaluation (including the
+    shrinker's re-runs) happens in a sandboxed worker child under
+    ``worker_limits``; an engine that crashes or blows its rlimits then
+    surfaces as an ``engine-error`` mismatch on that case instead of
+    aborting the fuzz run.
+    """
+    if isolation == "process":
+        from ..service import run_case_isolated
+        from ..service.supervisor import Supervisor
+
+        supervisor = Supervisor()
+
+        def exec_case(case: Case, case_cfg: OracleConfig) -> CaseResult:
+            return run_case_isolated(
+                case, case_cfg, limits=worker_limits, supervisor=supervisor
+            )
+    else:
+        exec_case = run_case
     t0 = time.perf_counter()
     deadline = t0 + budget_s
     report = FuzzReport(seed=seed)
@@ -115,7 +136,7 @@ def run_fuzz(
         case_cfg = replace(
             cfg, sym_deadline_s=min(cfg.sym_deadline_s, remaining)
         )
-        result = run_case(case, case_cfg)
+        result = exec_case(case, case_cfg)
         report.cases += 1
         if case.kind == "race":
             report.race_cases += 1
@@ -133,7 +154,7 @@ def run_fuzz(
             kinds = {m.kind for m in result.mismatches}
 
             def still_fails(cand: Case) -> bool:
-                res = run_case(cand, case_cfg)
+                res = exec_case(cand, case_cfg)
                 return any(m.kind in kinds for m in res.mismatches)
 
             shrink_budget = max((deadline - time.perf_counter()) / 2, 2.0)

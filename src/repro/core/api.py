@@ -297,6 +297,55 @@ def _note_symbolic(details: Dict[str, object], sym: SymbolicVerdict) -> None:
 # Public entry points
 
 
+def _isolated(
+    kind: str,
+    programs: Sequence[A.Program],
+    options: Dict[str, object],
+    mapping: Optional[Mapping[str, Set[str]]] = None,
+) -> VerificationResult:
+    """Route a query through a sandboxed worker (DESIGN.md §9).
+
+    The program(s) are pretty-printed (:func:`repro.lang.printer.
+    program_source` round-trips through the parser), solved in a child
+    process under hard OS limits, and the child's JSON result is lifted
+    back into a :class:`VerificationResult`.  A child that dies without
+    answering — crash, rlimit, wall-clock kill, even after the
+    supervisor's retries — comes back as ``verdict="unknown"`` with the
+    crashed attempts in ``details["attempts"]``, never as an exception
+    and never as a silent wrong verdict.
+    """
+    from ..lang.printer import program_source
+    from ..service import Limits, run_verification_isolated
+    from ..service.worker import task_for_fusion, task_for_race
+
+    wall_s = options.pop("wall_s", None)
+    cpu_s = options.pop("cpu_s", None)
+    mem_bytes = options.pop("mem_bytes", None)
+    limits = Limits(wall_s=wall_s, cpu_s=cpu_s, mem_bytes=mem_bytes)
+    options = {k: v for k, v in options.items() if v is not None or k in (
+        "mso_deadline_s", "bounded_deadline_s", "node_ceiling")}
+    if kind == "check-race":
+        task = task_for_race(
+            source=program_source(programs[0]),
+            entry=programs[0].entry,
+            options=options,
+            limits=limits,
+            name=programs[0].name,
+        )
+    else:
+        task = task_for_fusion(
+            source=program_source(programs[0]),
+            source2=program_source(programs[1]),
+            entry=programs[0].entry,
+            options=options,
+            mapping={k: sorted(v) for k, v in (mapping or {}).items()},
+            limits=limits,
+            name=programs[0].name,
+            name2=programs[1].name,
+        )
+    return run_verification_isolated(task)
+
+
 def check_data_race(
     program: A.Program,
     engine: str = "auto",
@@ -306,9 +355,37 @@ def check_data_race(
     node_ceiling: Optional[int] = None,
     bounded_deadline_s: Optional[float] = None,
     replay: bool = True,
+    isolation: str = "inline",
+    wall_s: Optional[float] = None,
+    cpu_s: Optional[float] = None,
+    mem_bytes: Optional[int] = None,
 ) -> VerificationResult:
-    """Is the program data-race-free (paper Thm 2)?"""
+    """Is the program data-race-free (paper Thm 2)?
+
+    ``isolation="process"`` runs the whole query in a sandboxed,
+    supervised child process (``wall_s``/``cpu_s``/``mem_bytes`` become
+    hard OS limits on it); the default ``"inline"`` solves in-process.
+    """
     validate(program)
+    if isolation == "process":
+        return _isolated(
+            "check-race",
+            (program,),
+            {
+                "engine": engine,
+                "max_internal": max_internal,
+                "det_budget": det_budget,
+                "mso_deadline_s": mso_deadline_s,
+                "node_ceiling": node_ceiling,
+                "bounded_deadline_s": bounded_deadline_s,
+                "replay": replay,
+                "wall_s": wall_s,
+                "cpu_s": cpu_s,
+                "mem_bytes": mem_bytes,
+            },
+        )
+    if isolation != "inline":
+        raise ValueError(f"unknown isolation mode {isolation!r}")
     t0 = time.perf_counter()
     attempts: List[Dict[str, object]] = []
     details: Dict[str, object] = {"attempts": attempts}
@@ -390,15 +467,42 @@ def check_equivalence(
     bounded_deadline_s: Optional[float] = None,
     replay: bool = True,
     check_bisim: bool = True,
+    isolation: str = "inline",
+    wall_s: Optional[float] = None,
+    cpu_s: Optional[float] = None,
+    mem_bytes: Optional[int] = None,
 ) -> VerificationResult:
     """Are the two programs equivalent under the block correspondence
     (paper Thm 3: bisimilar and conflict-free)?
 
     Precondition per the paper: both programs are data-race-free (footnote
     7); check separately with :func:`check_data_race`.
+    ``isolation="process"`` sandboxes the query as in
+    :func:`check_data_race`.
     """
     validate(p)
     validate(p_prime)
+    if isolation == "process":
+        return _isolated(
+            "check-fusion",
+            (p, p_prime),
+            {
+                "engine": engine,
+                "max_internal": max_internal,
+                "det_budget": det_budget,
+                "mso_deadline_s": mso_deadline_s,
+                "node_ceiling": node_ceiling,
+                "bounded_deadline_s": bounded_deadline_s,
+                "replay": replay,
+                "check_bisim": check_bisim,
+                "wall_s": wall_s,
+                "cpu_s": cpu_s,
+                "mem_bytes": mem_bytes,
+            },
+            mapping=mapping,
+        )
+    if isolation != "inline":
+        raise ValueError(f"unknown isolation mode {isolation!r}")
     t0 = time.perf_counter()
     attempts: List[Dict[str, object]] = []
     details: Dict[str, object] = {"attempts": attempts}

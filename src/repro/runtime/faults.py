@@ -46,8 +46,12 @@ __all__ = [
     "install_from_env",
 ]
 
-#: Every probe point compiled into the runtime.
-PROBES = ("bdd.apply", "product.expand", "emptiness.fixpoint")
+#: Every probe point compiled into the runtime.  ``worker-abort`` is the
+#: non-cooperative one: it sits in :mod:`repro.service.worker` and, when
+#: armed, a sandboxed child answers it by dying on SIGSEGV mid-solve
+#: (no frame, no cleanup) instead of raising — the crash analogue of the
+#: in-process probes, used to test the supervisor/batch recovery paths.
+PROBES = ("bdd.apply", "product.expand", "emptiness.fixpoint", "worker-abort")
 
 #: Fast flag checked at probe sites; true iff any probe is armed.
 ARMED = False

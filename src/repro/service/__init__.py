@@ -1,0 +1,68 @@
+"""Crash-isolated solver service (DESIGN.md §9).
+
+The paper's evaluation runs each MONA query as an external, killable
+process; this package gives the reproduction the same property.  In-
+process execution (PR 2's :class:`~repro.runtime.ResourceGuard` and
+degradation ladder) handles *cooperative* failure — a limit a running
+solver can notice and report.  ``repro.service`` handles the *non-
+cooperative* kind: runaway BDD growth that outruns every probe, C-level
+recursion blowouts, or a fault-injected corruption that escapes the
+ladder and takes the interpreter down with it.
+
+Four layers:
+
+* :mod:`repro.service.protocol` — length-prefixed JSON framing, the
+  serializable :class:`Task`/:class:`Limits` model, and content-hash
+  task keys;
+* :mod:`repro.service.worker` — one solve per sandboxed child process
+  (``resource.setrlimit`` on CPU/address space, wall-clock kill from the
+  parent); a dying child yields a structured :class:`WorkerOutcome`
+  (signal, rss, phase from the last heartbeat) instead of tearing down
+  the parent;
+* :mod:`repro.service.supervisor` — a bounded worker pool with per-task
+  retries (exponential backoff + deterministic jitter, retry budget,
+  crash/resource/verdict outcome classes) and a circuit breaker that
+  falls back to the bounded-only ladder rung when symbolic workers
+  crash repeatedly;
+* :mod:`repro.service.store` + :mod:`repro.service.batch` — a durable
+  checksummed result store (atomic write-rename, corruption quarantine)
+  and an append-only journal enabling ``repro batch --resume``: a run
+  killed with SIGKILL mid-way restarts and recomputes only the verdicts
+  that were never journaled.
+"""
+
+from .batch import BatchError, BatchReport, load_manifest, run_batch
+from .protocol import Limits, Task, task_key
+from .store import Journal, ResultStore
+from .supervisor import (
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedResult,
+    Supervisor,
+)
+from .worker import (
+    WorkerOutcome,
+    run_case_isolated,
+    run_task,
+    run_verification_isolated,
+)
+
+__all__ = [
+    "Task",
+    "Limits",
+    "task_key",
+    "WorkerOutcome",
+    "run_task",
+    "run_case_isolated",
+    "run_verification_isolated",
+    "Supervisor",
+    "SupervisedResult",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResultStore",
+    "Journal",
+    "BatchError",
+    "BatchReport",
+    "load_manifest",
+    "run_batch",
+]

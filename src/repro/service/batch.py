@@ -1,0 +1,413 @@
+"""Resumable batch runs: ``repro batch manifest.json``.
+
+A **manifest** is a JSON file describing the tasks of one batch::
+
+    {
+      "defaults": {"options": {"max_internal": 3}, "limits": {"wall_s": 60}},
+      "tasks": [
+        {"name": "t1", "kind": "check-race", "source": "Main(n) {...}"},
+        {"name": "t2", "kind": "check-race", "file": "prog.retreet"},
+        {"name": "t3", "kind": "check-fusion",
+         "file": "a.retreet", "file2": "b.retreet",
+         "map_overrides": {"s1": ["s1", "s2"]}},
+        {"name": "f1", "kind": "fuzz-case",
+         "case": {"kind": "race", "source": "...", "max_internal": 2},
+         "oracle": {"sym_deadline_s": 5}}
+      ]
+    }
+
+``file``/``file2`` paths resolve relative to the manifest; sources are
+inlined at load time so the *run directory* is self-contained.  Each
+run directory holds the resolved manifest copy (plus its hash), the
+checksummed result store, the journal, and two outputs:
+
+* ``results.json`` — the **deterministic verdict set**: one record per
+  task (name, kind, key, verdict, holds, ok), byte-identical between an
+  uninterrupted run and a ``kill -9``'d run resumed with ``--resume``;
+* ``report.json`` — timings, attempts, and worker diagnostics (not
+  required to be reproducible).
+
+``--resume RUN_DIR`` replays the journal, re-verifies each journaled
+verdict against the checksummed store, and recomputes only what is
+missing: completed work survives any crash of the *driver* as well as
+of the workers.  Failed tasks (crashes that exhausted their retry
+budget) are journaled as events but never marked done, so a resume
+gives them a fresh chance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from .protocol import Limits, Task, canonical_json, task_key
+from .store import Journal, ResultStore, payload_digest
+from .supervisor import RetryPolicy, SupervisedResult, Supervisor
+from .worker import task_for_case, task_for_fusion, task_for_race
+
+__all__ = ["BatchError", "BatchReport", "load_manifest", "run_batch"]
+
+
+class BatchError(ValueError):
+    """A malformed manifest or an unusable run directory (a *usage*
+    error — the CLI maps it to exit code 2)."""
+
+
+# ----------------------------------------------------------------------
+# Manifest loading
+
+
+def _read_source(entry: Dict[str, Any], key: str, base: Path, name: str) -> str:
+    fkey = "file" if key == "source" else "file2"
+    inline = entry.get(key)
+    if inline is not None:
+        return inline
+    fname = entry.get(fkey)
+    if fname is None:
+        raise BatchError(f"task {name!r} needs {key!r} or {fkey!r}")
+    path = (base / fname).resolve()
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as e:
+        raise BatchError(f"task {name!r}: cannot read {path}: {e}") from e
+
+
+def _merged(defaults: Dict[str, Any], entry: Dict[str, Any], key: str) -> Dict[str, Any]:
+    out = dict(defaults.get(key) or {})
+    out.update(entry.get(key) or {})
+    return out
+
+
+def load_manifest(path: Path) -> List[Task]:
+    """Parse a manifest into fully-resolved (source-inlined) tasks."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as e:
+        raise BatchError(f"cannot read manifest {path}: {e}") from e
+    except ValueError as e:
+        raise BatchError(f"manifest {path} is not JSON: {e}") from e
+    if not isinstance(data, dict) or not isinstance(data.get("tasks"), list):
+        raise BatchError(f"manifest {path} needs a top-level 'tasks' list")
+    defaults = data.get("defaults") or {}
+    base = path.parent
+    tasks: List[Task] = []
+    seen_names = set()
+    for i, entry in enumerate(data["tasks"]):
+        name = entry.get("name") or f"task-{i}"
+        if name in seen_names:
+            raise BatchError(f"duplicate task name {name!r} in manifest")
+        seen_names.add(name)
+        kind = entry.get("kind")
+        options = _merged(defaults, entry, "options")
+        limits = Limits.from_dict(_merged(defaults, entry, "limits"))
+        if kind == "check-race":
+            tasks.append(task_for_race(
+                source=_read_source(entry, "source", base, name),
+                entry=entry.get("entry", "Main"),
+                options=options,
+                limits=limits,
+                name=name,
+            ))
+        elif kind == "check-fusion":
+            task = task_for_fusion(
+                source=_read_source(entry, "source", base, name),
+                source2=_read_source(entry, "source2", base, name),
+                entry=entry.get("entry", "Main"),
+                options=options,
+                map_overrides=entry.get("map_overrides"),
+                limits=limits,
+                name=name,
+                name2=entry.get("name2", f"{name}-fused"),
+            )
+            tasks.append(dc_replace(task, name=name))
+        elif kind == "fuzz-case":
+            case = dict(entry.get("case") or {})
+            if "source" not in case and "kind" not in case:
+                raise BatchError(f"task {name!r}: fuzz-case needs a 'case'")
+            case.setdefault("name", name)
+            payload: Dict[str, Any] = {"case": case}
+            oracle = _merged(defaults, entry, "oracle")
+            if oracle:
+                payload["oracle"] = oracle
+            tasks.append(Task(
+                kind="fuzz-case", payload=payload, name=name, limits=limits,
+            ))
+        else:
+            raise BatchError(
+                f"task {name!r}: unknown kind {kind!r} "
+                "(want check-race | check-fusion | fuzz-case)"
+            )
+    if not tasks:
+        raise BatchError(f"manifest {path} has no tasks")
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Verdict extraction
+
+
+def _task_verdict(res: SupervisedResult) -> Dict[str, Any]:
+    """The deterministic per-task record that lands in results.json."""
+    out: Dict[str, Any] = {
+        "name": res.task.name,
+        "kind": res.task.kind,
+        "key": res.key,
+    }
+    if res.final.status == "ok":
+        value = res.final.value or {}
+        if res.task.kind == "fuzz-case":
+            mismatches = value.get("mismatches") or []
+            out["verdict"] = "conformant" if not mismatches else "mismatch"
+            out["holds"] = not mismatches
+            out["mismatch_kinds"] = sorted({m["kind"] for m in mismatches})
+        else:
+            out["verdict"] = value.get("verdict", "unknown")
+            out["holds"] = bool(value.get("holds"))
+        out["ok"] = True
+    else:
+        out["verdict"] = "unknown"
+        out["holds"] = False
+        out["ok"] = False
+        out["outcome_class"] = res.final.outcome_class
+    return out
+
+
+# ----------------------------------------------------------------------
+# The batch runner
+
+
+@dataclass
+class BatchReport:
+    run_dir: Path
+    total: int = 0
+    resumed: int = 0
+    ran: int = 0
+    violations: int = 0
+    unknown: int = 0
+    failed: int = 0
+    breaker_open: bool = False
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    journal_skipped_lines: int = 0
+    quarantined: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def exit_code(self) -> int:
+        """Uniform CLI codes: 0 ok / 1 violation / 2 error / 3 unknown."""
+        if self.failed:
+            return 2
+        if self.violations:
+            return 1
+        if self.unknown:
+            return 3
+        return 0
+
+    def summary(self) -> str:
+        lines = [
+            f"batch: {self.total} task(s) — {self.resumed} resumed from "
+            f"journal, {self.ran} computed, in {self.elapsed:.1f}s"
+        ]
+        for r in self.results:
+            lines.append(f"  {r['name']}: {r['verdict']}"
+                         + ("" if r.get("ok") else " (worker failed)"))
+        if self.failed:
+            lines.append(f"  {self.failed} task(s) failed irrecoverably")
+        if self.violations:
+            lines.append(f"  {self.violations} violation(s) found")
+        if self.unknown:
+            lines.append(f"  {self.unknown} task(s) undecided")
+        if self.breaker_open:
+            lines.append(
+                "  circuit breaker OPEN: symbolic workers crashed "
+                "repeatedly; later tasks ran bounded-only"
+            )
+        if self.quarantined:
+            lines.append(
+                f"  {self.quarantined} corrupt store record(s) quarantined "
+                "and recomputed"
+            )
+        return "\n".join(lines)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _manifest_fingerprint(tasks: List[Task]) -> str:
+    return payload_digest([t.to_dict() for t in tasks])
+
+
+def run_batch(
+    manifest_path: Path,
+    run_dir: Path,
+    jobs: int = 1,
+    isolation: str = "process",
+    resume: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> BatchReport:
+    """Run (or resume) a batch; see the module docstring for layout."""
+    t0 = time.perf_counter()
+    say = log or (lambda _msg: None)
+    tasks = load_manifest(manifest_path)
+    fingerprint = _manifest_fingerprint(tasks)
+
+    run_dir = Path(run_dir)
+    meta_path = run_dir / "meta.json"
+    if resume:
+        if not meta_path.exists():
+            raise BatchError(
+                f"--resume: {run_dir} is not a batch run directory "
+                "(no meta.json)"
+            )
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        if meta.get("manifest_sha256") != fingerprint:
+            raise BatchError(
+                "--resume: manifest does not match the one this run "
+                "directory was created from"
+            )
+    else:
+        run_dir.mkdir(parents=True, exist_ok=True)
+        if meta_path.exists():
+            raise BatchError(
+                f"{run_dir} already holds a batch run; pass --resume to "
+                "continue it or choose a fresh --run-dir"
+            )
+        _atomic_write(
+            run_dir / "manifest.json",
+            json.dumps(
+                [t.to_dict() for t in tasks], sort_keys=True, indent=1
+            ) + "\n",
+        )
+        _atomic_write(
+            meta_path,
+            canonical_json({"manifest_sha256": fingerprint, "version": 1})
+            + "\n",
+        )
+
+    store = ResultStore(run_dir)
+    journal = Journal(run_dir / "journal.jsonl")
+    replayed = journal.replay()
+
+    # A journal line is only a pointer; the checksummed store record is
+    # the evidence.  Missing/corrupt records are recomputed.
+    done: Dict[str, SupervisedResult] = {}
+    journaled_keys = {
+        rec["key"]
+        for rec in replayed.records
+        if rec.get("event") == "verdict" and "key" in rec
+    }
+    keys = {task_key(t): t for t in tasks}
+    from .worker import WorkerOutcome
+
+    for key, task in keys.items():
+        if key not in journaled_keys:
+            continue
+        payload = store.get(key)
+        if payload is None:
+            say(f"journaled result for {task.name} missing or corrupt; "
+                "recomputing")
+            continue
+        done[key] = SupervisedResult(
+            task=task,
+            key=key,
+            final=WorkerOutcome(status="ok", value=payload),
+            attempts=[],
+        )
+
+    pending = [t for t in tasks if task_key(t) not in done]
+    say(
+        f"batch: {len(tasks)} task(s), {len(done)} already journaled, "
+        f"{len(pending)} to run (isolation={isolation}, jobs={jobs})"
+    )
+
+    supervisor = Supervisor(policy=policy, isolation=isolation)
+    computed: Dict[str, SupervisedResult] = {}
+
+    def on_result(res: SupervisedResult) -> None:
+        if res.ok:
+            store.put(res.key, res.final.value or {})
+            journal.append({
+                "event": "verdict",
+                "key": res.key,
+                "name": res.task.name,
+                "verdict": _task_verdict(res)["verdict"],
+                "attempts": len(res.attempts),
+            })
+        else:
+            journal.append({
+                "event": "failed",
+                "key": res.key,
+                "name": res.task.name,
+                "outcome": res.final.outcome_class,
+                "detail": res.final.describe(),
+                "attempts": len(res.attempts),
+            })
+        computed[res.key] = res
+        say(f"  {res.task.name}: "
+            + (_task_verdict(res)["verdict"] if res.ok
+               else f"FAILED ({res.final.describe()})"))
+
+    supervisor.map(pending, jobs=jobs, on_result=on_result)
+
+    report = BatchReport(run_dir=run_dir)
+    report.total = len(tasks)
+    report.resumed = len(done)
+    report.ran = len(computed)
+    report.breaker_open = supervisor.breaker.open
+    report.journal_skipped_lines = replayed.skipped_lines
+    report.quarantined = len(store.quarantined)
+
+    attempts_out: Dict[str, Any] = {}
+    for task in tasks:
+        key = task_key(task)
+        res = done.get(key) or computed.get(key)
+        assert res is not None
+        verdict = _task_verdict(res)
+        report.results.append(verdict)
+        if not verdict["ok"]:
+            report.failed += 1
+        elif verdict["verdict"] == "unknown":
+            report.unknown += 1
+        elif not verdict["holds"]:
+            report.violations += 1
+        attempts_out[task.name] = {
+            "resumed": key in done,
+            "attempts": res.attempts,
+            "elapsed": round(res.final.elapsed, 6),
+            "status": res.final.status,
+        }
+
+    report.elapsed = time.perf_counter() - t0
+    _atomic_write(
+        run_dir / "results.json",
+        json.dumps(report.results, sort_keys=True, indent=1) + "\n",
+    )
+    _atomic_write(
+        run_dir / "report.json",
+        json.dumps(
+            {
+                "total": report.total,
+                "resumed": report.resumed,
+                "ran": report.ran,
+                "failed": report.failed,
+                "violations": report.violations,
+                "unknown": report.unknown,
+                "breaker_open": report.breaker_open,
+                "journal_skipped_lines": report.journal_skipped_lines,
+                "quarantined": report.quarantined,
+                "elapsed": round(report.elapsed, 3),
+                "tasks": attempts_out,
+            },
+            sort_keys=True,
+            indent=1,
+        ) + "\n",
+    )
+    return report

@@ -1,0 +1,293 @@
+"""Supervised execution: bounded pool, retries, circuit breaker.
+
+The supervisor sits between callers (the batch layer, ``core.api``'s
+``isolation="process"`` path, the fuzz loop) and the per-task worker in
+:mod:`repro.service.worker`:
+
+* **Retry policy** — each task gets a retry budget; which outcome
+  classes are retried is policy (default: only ``crashed`` — a resource
+  exhaustion under the same limits is deterministic, and a verdict
+  needs no retry).  Backoff is exponential with *deterministic* jitter
+  derived from the task key, so concurrent workers decorrelate without
+  consuming RNG state anywhere.
+* **Circuit breaker** — repeated crashes of *symbolic* workers trip the
+  breaker; while it is open, every subsequent ``check-*``/fuzz task is
+  degraded to the bounded-only ladder rung (``engine="bounded"`` /
+  ``run_symbolic=False``) before being handed to a worker.  That is the
+  process-level analogue of PR 2's in-process degradation ladder: when
+  the symbolic engine does not fail cooperatively, stop feeding it
+  queries rather than burning the whole batch's retry budget.
+* **Bounded pool** — :meth:`Supervisor.map` runs tasks over at most
+  ``jobs`` concurrent children and kills every live child if the caller
+  is interrupted, so ``^C`` never leaks sandboxed workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .protocol import Task, task_key
+from .worker import WorkerOutcome, execute_payload, run_task
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "SupervisedResult",
+    "Supervisor",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry budget and backoff shape."""
+
+    max_attempts: int = 3
+    retry_classes: Tuple[str, ...] = ("crashed",)
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter_frac: float = 0.25
+
+    def should_retry(self, attempt: int, outcome_class: str) -> bool:
+        return attempt < self.max_attempts and outcome_class in self.retry_classes
+
+    def backoff_s(self, attempt: int, key: str) -> float:
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        # Deterministic jitter in [-jitter_frac, +jitter_frac], keyed by
+        # (task, attempt): reproducible runs, decorrelated workers.
+        h = int.from_bytes(
+            hashlib.sha256(f"{key}:{attempt}".encode()).digest()[:4], "big"
+        )
+        unit = h / 0xFFFFFFFF
+        return base * (1.0 + self.jitter_frac * (2.0 * unit - 1.0))
+
+
+class CircuitBreaker:
+    """Trips after N consecutive crashes of symbolic workers."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        self.threshold = threshold
+        self._consecutive = 0
+        self._open = False
+        self._lock = threading.Lock()
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    def record(self, outcome_class: str, symbolic: bool) -> None:
+        with self._lock:
+            if outcome_class == "crashed" and symbolic:
+                self._consecutive += 1
+                if self._consecutive >= self.threshold:
+                    self._open = True
+            elif outcome_class == "ok":
+                self._consecutive = 0
+
+
+def _task_is_symbolic(task: Task) -> bool:
+    if task.kind in ("check-race", "check-fusion"):
+        opts = task.payload.get("options") or {}
+        return opts.get("engine", "auto") != "bounded"
+    if task.kind == "fuzz-case":
+        oracle = task.payload.get("oracle") or {}
+        return bool(oracle.get("run_symbolic", True))
+    return False
+
+
+def _degrade_task(task: Task) -> Task:
+    """The bounded-only rendering of a task (circuit breaker open)."""
+    payload = dict(task.payload)
+    if task.kind in ("check-race", "check-fusion"):
+        payload["options"] = dict(payload.get("options") or {})
+        payload["options"]["engine"] = "bounded"
+    elif task.kind == "fuzz-case":
+        payload["oracle"] = dict(payload.get("oracle") or {})
+        payload["oracle"]["run_symbolic"] = False
+    return replace(task, payload=payload)
+
+
+@dataclass
+class SupervisedResult:
+    """Final outcome of one task plus its full attempt history."""
+
+    task: Task
+    key: str
+    final: WorkerOutcome
+    attempts: List[Dict[str, Any]]
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.final.status == "ok"
+
+
+class Supervisor:
+    """Runs tasks through sandboxed workers with retries and breaker."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        isolation: str = "process",
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if isolation not in ("process", "inline"):
+            raise ValueError(f"unknown isolation mode {isolation!r}")
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.isolation = isolation
+        self.env = env
+        self._procs: Dict[int, object] = {}
+        self._procs_lock = threading.Lock()
+
+    # -- child bookkeeping (so an interrupt can kill live workers) ------
+
+    def _register(self, proc) -> None:
+        with self._procs_lock:
+            self._procs[proc.pid] = proc
+
+    def _forget(self) -> None:
+        with self._procs_lock:
+            self._procs = {
+                pid: p for pid, p in self._procs.items() if p.poll() is None
+            }
+
+    def kill_live_workers(self) -> None:
+        with self._procs_lock:
+            procs = list(self._procs.values())
+            self._procs.clear()
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.kill()
+                    proc.wait()
+                except OSError:  # pragma: no cover - already reaped
+                    pass
+
+    # -- single attempt --------------------------------------------------
+
+    def _attempt(self, task: Task) -> WorkerOutcome:
+        if self.isolation == "inline":
+            t0 = time.monotonic()
+            try:
+                value = execute_payload(task.kind, task.payload)
+                return WorkerOutcome(
+                    status="ok", value=value, elapsed=time.monotonic() - t0
+                )
+            except Exception as e:
+                from .worker import _error_dict
+
+                return WorkerOutcome(
+                    status="failed",
+                    error=_error_dict(e),
+                    elapsed=time.monotonic() - t0,
+                )
+        outcome = run_task(task, env=self.env, on_spawn=self._register)
+        self._forget()
+        return outcome
+
+    # -- supervised task -------------------------------------------------
+
+    def run_one(self, task: Task) -> SupervisedResult:
+        key = task_key(task)
+        attempts: List[Dict[str, Any]] = []
+        degraded_any = False
+        final: Optional[WorkerOutcome] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            degraded = self.breaker.open and _task_is_symbolic(task)
+            run = _degrade_task(task) if degraded else task
+            degraded_any = degraded_any or degraded
+            outcome = self._attempt(run)
+            self.breaker.record(
+                outcome.outcome_class, _task_is_symbolic(run)
+            )
+            record: Dict[str, Any] = {
+                "attempt": attempt,
+                "outcome": outcome.outcome_class,
+                "status": outcome.status,
+                "elapsed": round(outcome.elapsed, 6),
+            }
+            if outcome.signal is not None:
+                record["signal"] = outcome.signal
+            if outcome.phase is not None:
+                record["phase"] = outcome.phase
+            if outcome.status not in ("ok",):
+                record["detail"] = outcome.describe()
+            if degraded:
+                record["degraded"] = True
+            final = outcome
+            if not self.policy.should_retry(attempt, outcome.outcome_class):
+                attempts.append(record)
+                break
+            backoff = self.policy.backoff_s(attempt, key)
+            record["backoff_s"] = round(backoff, 6)
+            attempts.append(record)
+            time.sleep(backoff)
+        assert final is not None
+        return SupervisedResult(
+            task=task,
+            key=key,
+            final=final,
+            attempts=attempts,
+            degraded=degraded_any,
+        )
+
+    # -- bounded pool -----------------------------------------------------
+
+    def map(
+        self,
+        tasks: List[Task],
+        jobs: int = 1,
+        on_result: Optional[Callable[[SupervisedResult], None]] = None,
+    ) -> List[SupervisedResult]:
+        """Run every task over at most ``jobs`` concurrent workers.
+
+        ``on_result`` fires as each task settles (under no lock — the
+        batch layer serializes its own journal).  Results come back in
+        task order.  On interruption every live child is killed before
+        the exception propagates.
+        """
+        jobs = max(1, jobs)
+        results: List[Optional[SupervisedResult]] = [None] * len(tasks)
+
+        def run_indexed(i: int) -> None:
+            res = self.run_one(tasks[i])
+            results[i] = res
+            if on_result is not None:
+                on_result(res)
+
+        if jobs == 1:
+            try:
+                for i in range(len(tasks)):
+                    run_indexed(i)
+            except BaseException:
+                self.kill_live_workers()
+                raise
+            return [r for r in results if r is not None]
+
+        executor = ThreadPoolExecutor(max_workers=jobs)
+        try:
+            pending = {
+                executor.submit(run_indexed, i) for i in range(len(tasks))
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    fut.result()
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            self.kill_live_workers()
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)
+        return [r for r in results if r is not None]

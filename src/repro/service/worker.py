@@ -1,0 +1,806 @@
+"""One solve per sandboxed child process.
+
+The **child** (``python -m repro.service.worker``) reads a single
+:class:`~repro.service.protocol.Task` frame from stdin, applies hard OS
+limits to itself (``RLIMIT_CPU``, ``RLIMIT_AS``, no core dumps), runs
+the task's solve, and writes phase heartbeats plus one result frame to
+stdout.  Cooperative failures — the PR 2 taxonomy, ``MemoryError`` from
+the address-space rlimit, ``SIGXCPU`` from the CPU rlimit (converted to
+a :class:`~repro.runtime.DeadlineExceeded` by a signal handler) — still
+produce a structured ``result`` frame.  Only a *non-cooperative* death
+(SIGSEGV, SIGKILL, ``os._exit``) leaves the stream without one.
+
+The **parent** (:func:`run_task`) spawns the child, enforces the
+wall-clock limit with SIGKILL, and classifies what it read back into a
+:class:`WorkerOutcome`: ``ok`` (a verdict), ``failed`` (structured
+error), ``timeout`` (parent killed it), or ``crashed`` (died without a
+result frame — the outcome records the signal, last heartbeat phase and
+RSS so a crash report can say where the solver was).
+
+A test-only crash hook rides on :mod:`repro.runtime.faults`:
+``REPRO_FAULT=worker-abort`` makes the child die by SIGSEGV mid-solve
+whenever the task would run the symbolic engine — the non-cooperative
+analogue of the PR 2 probes.  Setting ``REPRO_FAULT_ONCE=<path>``
+additionally makes the crash one-shot across process boundaries (the
+child touches the sentinel file before dying), which is how the retry
+and resume tests model a transient crash.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from .protocol import (
+    FrameError,
+    Limits,
+    Task,
+    jsonable,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "WorkerOutcome",
+    "run_task",
+    "execute_payload",
+    "child_main",
+    "task_for_race",
+    "task_for_fusion",
+    "task_for_case",
+    "run_case_isolated",
+    "run_verification_isolated",
+    "verification_from_supervised",
+]
+
+#: Seconds between heartbeat frames from the child.
+HEARTBEAT_PERIOD_S = 0.25
+
+#: Grace period for a child to exit after its result frame (or a kill).
+_REAP_GRACE_S = 5.0
+
+#: True only inside a worker child process; the crash hook and rlimit
+#: plumbing are inert everywhere else (in particular under the
+#: supervisor's inline mode, which runs runners in the parent).
+_IN_CHILD = False
+
+_EMITTER: Optional["_Emitter"] = None
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+
+
+@dataclass
+class WorkerOutcome:
+    """What one child-process attempt produced.
+
+    ``status`` is the protocol-level result (``ok``/``failed``/
+    ``timeout``/``crashed``); :attr:`outcome_class` maps it onto the
+    supervisor's retry classes (``ok``/``error``/``resource``/
+    ``crashed``), folding structured resource failures and wall-clock
+    kills into ``resource`` per the PR 2 taxonomy.
+    """
+
+    status: str  # "ok" | "failed" | "timeout" | "crashed"
+    value: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    signal: Optional[int] = None
+    returncode: Optional[int] = None
+    phase: Optional[str] = None
+    rss_kb: Optional[int] = None
+    elapsed: float = 0.0
+    stderr_tail: str = ""
+
+    @property
+    def outcome_class(self) -> str:
+        if self.status == "ok":
+            return "ok"
+        if self.status == "timeout":
+            return "resource"
+        if self.status == "failed":
+            return "resource" if (self.error or {}).get("resource") else "error"
+        return "crashed"
+
+    def describe(self) -> str:
+        if self.status == "ok":
+            return "ok"
+        if self.status == "timeout":
+            return (
+                f"wall-clock limit exceeded (killed in phase "
+                f"{self.phase or 'startup'})"
+            )
+        if self.status == "failed":
+            err = self.error or {}
+            return f"{err.get('type', 'error')}: {err.get('message', '')}"
+        how = (
+            f"signal {self.signal} ({signal.Signals(self.signal).name})"
+            if self.signal is not None and self.signal in signal.Signals._value2member_map_
+            else f"signal {self.signal}"
+            if self.signal is not None
+            else f"exit code {self.returncode} without a result"
+        )
+        return f"worker crashed: {how} in phase {self.phase or 'startup'}"
+
+
+# ----------------------------------------------------------------------
+# Child side
+
+
+# The functions below run only inside the worker child; coverage is
+# measured in the parent, so they are excluded from the ratchet.
+
+
+def _apply_rlimits(limits: Limits) -> None:  # pragma: no cover - child only
+    import resource as res
+
+    res.setrlimit(res.RLIMIT_CORE, (0, 0))
+    if limits.cpu_s is not None:
+        soft = max(1, int(limits.cpu_s + 0.999))
+        res.setrlimit(res.RLIMIT_CPU, (soft, soft + 1))
+    if limits.mem_bytes is not None:
+        res.setrlimit(res.RLIMIT_AS, (limits.mem_bytes, limits.mem_bytes))
+
+
+def _rss_kb() -> int:  # pragma: no cover - child only
+    import resource as res
+
+    return int(res.getrusage(res.RUSAGE_SELF).ru_maxrss)
+
+
+class _Emitter:  # pragma: no cover - child only
+    """Serializes child→parent frames across the solve and heartbeat
+    threads; after the result frame nothing else is written."""
+
+    def __init__(self, fp) -> None:
+        self._fp = fp
+        self._lock = threading.Lock()
+        self.phase = "start"
+        self.done = False
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+        self.emit_phase()
+
+    def emit_phase(self) -> None:
+        with self._lock:
+            if self.done:
+                return
+            write_frame(
+                self._fp,
+                {"type": "phase", "phase": self.phase, "rss_kb": _rss_kb()},
+            )
+
+    def result(self, body: Dict[str, Any]) -> None:
+        with self._lock:
+            self.done = True
+            write_frame(self._fp, {"type": "result", **body})
+
+
+def _heartbeat_loop(emitter: _Emitter) -> None:  # pragma: no cover - child only
+    while not emitter.done:
+        time.sleep(HEARTBEAT_PERIOD_S)
+        try:
+            emitter.emit_phase()
+        except (BrokenPipeError, OSError):
+            os._exit(1)  # parent is gone; nothing left to report to
+
+
+def _on_xcpu(signum, frame) -> None:  # pragma: no cover - child only
+    from ..runtime import DeadlineExceeded
+
+    phase = _EMITTER.phase if _EMITTER is not None else None
+    raise DeadlineExceeded(
+        "CPU rlimit exhausted", phase=phase, counters={"signal": "SIGXCPU"}
+    )
+
+
+def _maybe_worker_abort(symbolic: bool) -> None:
+    """Test-only crash hook: die by SIGSEGV mid-solve.
+
+    Fires only inside a child, only when the task would run the symbolic
+    engine (the hook models a non-cooperative symbolic blow-up, and this
+    is what lets the circuit breaker's bounded-only degradation actually
+    recover), and — when ``REPRO_FAULT_ONCE`` names a sentinel path —
+    only until the sentinel exists.
+    """
+    from ..runtime import faults
+
+    if not (_IN_CHILD and symbolic and faults.ARMED):
+        return
+    once = os.environ.get("REPRO_FAULT_ONCE")
+    if once and os.path.exists(once):
+        return
+    try:
+        faults.fire("worker-abort")
+    except faults.InjectedFault:
+        if once:
+            Path(once).touch()
+        os.kill(os.getpid(), signal.SIGSEGV)
+        os._exit(139)  # fallback if SIGSEGV is somehow blocked
+
+
+def _error_dict(e: BaseException) -> Dict[str, Any]:
+    from ..runtime import ResourceExhausted
+
+    return {
+        "type": type(e).__name__,
+        "message": str(e),
+        "phase": getattr(e, "phase", None),
+        "resource": isinstance(e, (ResourceExhausted, MemoryError)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Task runners (shared by the child and the supervisor's inline mode)
+
+
+_RACE_OPTIONS = (
+    "engine",
+    "max_internal",
+    "det_budget",
+    "mso_deadline_s",
+    "node_ceiling",
+    "bounded_deadline_s",
+    "replay",
+)
+_FUSION_OPTIONS = _RACE_OPTIONS + ("check_bisim",)
+
+
+def _options(payload: Dict[str, Any], allowed) -> Dict[str, Any]:
+    opts = payload.get("options") or {}
+    unknown = sorted(set(opts) - set(allowed))
+    if unknown:
+        raise ValueError(f"unknown task options {unknown}")
+    return {k: opts[k] for k in allowed if k in opts}
+
+
+def _verification_to_dict(res) -> Dict[str, Any]:
+    from ..trees.heap import tree_to_tuple
+
+    return {
+        "query": res.query,
+        "verdict": res.verdict,
+        "engine": res.engine,
+        "elapsed": res.elapsed,
+        "holds": res.holds,
+        "witness": str(res.witness) if res.witness is not None else None,
+        "witness_tree": (
+            tree_to_tuple(res.witness_tree)
+            if res.witness_tree is not None
+            else None
+        ),
+        "replay": (
+            {"confirmed": res.replay.confirmed, "detail": res.replay.detail}
+            if res.replay is not None
+            else None
+        ),
+        "details": jsonable(res.details),
+    }
+
+
+def _run_check_race(payload: Dict[str, Any], set_phase) -> Dict[str, Any]:
+    from ..core.api import check_data_race
+    from ..lang.parser import parse_program
+
+    set_phase("parse")
+    program = parse_program(
+        payload["source"],
+        name=payload.get("name", "program"),
+        entry=payload.get("entry", "Main"),
+    )
+    options = _options(payload, _RACE_OPTIONS)
+    set_phase("solve")
+    _maybe_worker_abort(options.get("engine", "auto") != "bounded")
+    return _verification_to_dict(check_data_race(program, **options))
+
+
+def _run_check_fusion(payload: Dict[str, Any], set_phase) -> Dict[str, Any]:
+    from ..core.api import check_equivalence
+    from ..core.transform import correspondence_by_key
+    from ..lang.parser import parse_program
+
+    set_phase("parse")
+    entry = payload.get("entry", "Main")
+    p = parse_program(
+        payload["source"], name=payload.get("name", "original"), entry=entry
+    )
+    q = parse_program(
+        payload["source2"], name=payload.get("name2", "fused"), entry=entry
+    )
+    if payload.get("mapping") is not None:
+        mapping = {k: set(v) for k, v in payload["mapping"].items()}
+    else:
+        overrides = {
+            k: set(v) for k, v in (payload.get("map_overrides") or {}).items()
+        }
+        mapping = correspondence_by_key(p, q, overrides=overrides, strict=True)
+    options = _options(payload, _FUSION_OPTIONS)
+    set_phase("solve")
+    _maybe_worker_abort(options.get("engine", "auto") != "bounded")
+    return _verification_to_dict(check_equivalence(p, q, mapping, **options))
+
+
+def _run_fuzz_case(payload: Dict[str, Any], set_phase) -> Dict[str, Any]:
+    from ..conformance.oracle import Case, OracleConfig, run_case
+
+    set_phase("parse")
+    case = Case(**payload["case"])
+    cfg_data = dict(payload.get("oracle") or {})
+    if "field_seeds" in cfg_data:
+        cfg_data["field_seeds"] = tuple(cfg_data["field_seeds"])
+    if cfg_data.get("fault") is not None:
+        cfg_data["fault"] = tuple(cfg_data["fault"])
+    cfg = OracleConfig(**cfg_data)
+    set_phase("solve")
+    _maybe_worker_abort(cfg.run_symbolic)
+    result = run_case(case, cfg)
+    return {
+        "mismatches": [
+            {"kind": m.kind, "detail": m.detail} for m in result.mismatches
+        ],
+        "warnings": list(result.warnings),
+        "engines": jsonable(result.engines),
+        "elapsed": result.elapsed,
+    }
+
+
+_RUNNERS: Dict[str, Callable[[Dict[str, Any], Callable], Dict[str, Any]]] = {
+    "check-race": _run_check_race,
+    "check-fusion": _run_check_fusion,
+    "fuzz-case": _run_fuzz_case,
+}
+
+
+def execute_payload(
+    kind: str,
+    payload: Dict[str, Any],
+    set_phase: Callable[[str], None] = lambda _p: None,
+) -> Dict[str, Any]:
+    """Run one task's solve in the current process; returns the
+    JSON-plain result value.  This is the child's core, and also what
+    the supervisor's inline (non-isolated) mode calls directly."""
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        raise ValueError(
+            f"unknown task kind {kind!r}; known: {sorted(_RUNNERS)}"
+        )
+    return runner(payload, set_phase)
+
+
+def child_main() -> int:  # pragma: no cover - exercised via subprocess
+    """Entry point of the worker child: one task frame in, frames out."""
+    global _IN_CHILD, _EMITTER
+    _IN_CHILD = True
+    # Keep the framing fd private: stray prints from engine code (or C
+    # extensions writing to fd 1) must not corrupt the protocol stream.
+    out_fp = os.fdopen(os.dup(1), "wb")
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+
+    frame = read_frame(sys.stdin.buffer)
+    if frame is None:
+        return 2
+    task = Task.from_dict(frame)
+    _apply_rlimits(task.limits)
+    signal.signal(signal.SIGXCPU, _on_xcpu)
+
+    from ..runtime import faults
+
+    faults.install_from_env()
+
+    emitter = _Emitter(out_fp)
+    _EMITTER = emitter
+    emitter.emit_phase()
+    hb = threading.Thread(target=_heartbeat_loop, args=(emitter,), daemon=True)
+    hb.start()
+    try:
+        value = execute_payload(task.kind, task.payload, emitter.set_phase)
+        emitter.result({"ok": True, "value": value})
+    except Exception as e:  # structured failure is a protocol success
+        try:
+            emitter.result({"ok": False, "error": _error_dict(e)})
+        except (BrokenPipeError, OSError):
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parent side
+
+
+class _WallTimeout(Exception):
+    pass
+
+
+class _DeadlineReader:
+    """File-like reader over a pipe fd that honours a wall deadline."""
+
+    def __init__(self, fd: int, deadline: Optional[float]) -> None:
+        self._fd = fd
+        self._deadline = deadline
+
+    def read(self, n: int) -> bytes:
+        buf = b""
+        while len(buf) < n:
+            timeout = None
+            if self._deadline is not None:
+                timeout = self._deadline - time.monotonic()
+                if timeout <= 0:
+                    raise _WallTimeout
+            ready, _, _ = select.select([self._fd], [], [], timeout)
+            if not ready:
+                raise _WallTimeout
+            chunk = os.read(self._fd, n - len(buf))
+            if not chunk:
+                return buf  # EOF; read_frame classifies a torn frame
+            buf += chunk
+        return buf
+
+
+def _child_env(env: Optional[Dict[str, str]]) -> Dict[str, str]:
+    out = dict(os.environ if env is None else env)
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    parts = out.get("PYTHONPATH", "")
+    if pkg_root not in parts.split(os.pathsep):
+        out["PYTHONPATH"] = (
+            pkg_root + (os.pathsep + parts if parts else "")
+        )
+    return out
+
+
+def _reap(proc: subprocess.Popen) -> int:
+    try:
+        return proc.wait(timeout=_REAP_GRACE_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return proc.wait()
+
+
+def run_task(
+    task: Task,
+    env: Optional[Dict[str, str]] = None,
+    on_spawn: Optional[Callable[[subprocess.Popen], None]] = None,
+) -> WorkerOutcome:
+    """Run one task in a fresh sandboxed child; never raises for child
+    failure — every way the child can die maps to a :class:`WorkerOutcome`."""
+    t0 = time.monotonic()
+    deadline = (
+        t0 + task.limits.wall_s if task.limits.wall_s is not None else None
+    )
+    stderr_file = tempfile.TemporaryFile()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.worker"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=stderr_file,
+        env=_child_env(env),
+    )
+    if on_spawn is not None:
+        on_spawn(proc)
+    phase: Optional[str] = None
+    rss_kb: Optional[int] = None
+    result_frame: Optional[Dict[str, Any]] = None
+    timed_out = False
+    torn = False
+    try:
+        try:
+            write_frame(proc.stdin, task.to_dict())
+            proc.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass  # child died before reading; classified below
+        reader = _DeadlineReader(proc.stdout.fileno(), deadline)
+        while True:
+            try:
+                frame = read_frame(reader)
+            except _WallTimeout:
+                proc.kill()
+                timed_out = True
+                break
+            except FrameError:
+                torn = True
+                break
+            if frame is None:
+                break
+            if frame.get("type") == "phase":
+                phase = frame.get("phase", phase)
+                rss_kb = frame.get("rss_kb", rss_kb)
+            elif frame.get("type") == "result":
+                result_frame = frame
+                break
+        returncode = _reap(proc)
+    finally:
+        proc.stdout.close()
+        if proc.poll() is None:  # pragma: no cover - safety net
+            proc.kill()
+            proc.wait()
+    stderr_file.seek(0)
+    stderr_tail = stderr_file.read()[-2048:].decode("utf-8", "replace")
+    stderr_file.close()
+    elapsed = time.monotonic() - t0
+    sig = -returncode if returncode is not None and returncode < 0 else None
+
+    if result_frame is not None:
+        if result_frame.get("ok"):
+            return WorkerOutcome(
+                status="ok",
+                value=result_frame.get("value"),
+                phase=phase,
+                rss_kb=rss_kb,
+                elapsed=elapsed,
+                returncode=returncode,
+                stderr_tail=stderr_tail,
+            )
+        return WorkerOutcome(
+            status="failed",
+            error=result_frame.get("error") or {},
+            phase=phase,
+            rss_kb=rss_kb,
+            elapsed=elapsed,
+            returncode=returncode,
+            stderr_tail=stderr_tail,
+        )
+    if timed_out:
+        return WorkerOutcome(
+            status="timeout",
+            phase=phase,
+            rss_kb=rss_kb,
+            elapsed=elapsed,
+            signal=signal.SIGKILL,
+            returncode=returncode,
+            stderr_tail=stderr_tail,
+        )
+    # EOF (or a torn frame) without a result: a non-cooperative death.
+    return WorkerOutcome(
+        status="crashed",
+        phase=phase,
+        rss_kb=rss_kb,
+        elapsed=elapsed,
+        signal=sig,
+        returncode=returncode if sig is None else None,
+        error={"torn_frame": True} if torn else None,
+        stderr_tail=stderr_tail,
+    )
+
+
+# ----------------------------------------------------------------------
+# Task builders + high-level isolated entry points
+
+
+def task_for_race(
+    source: str,
+    entry: str = "Main",
+    options: Optional[Dict[str, Any]] = None,
+    limits: Optional[Limits] = None,
+    name: str = "program",
+) -> Task:
+    return Task(
+        kind="check-race",
+        payload={
+            "source": source,
+            "entry": entry,
+            "name": name,
+            "options": dict(options or {}),
+        },
+        name=name,
+        limits=limits or Limits(),
+    )
+
+
+def task_for_fusion(
+    source: str,
+    source2: str,
+    entry: str = "Main",
+    options: Optional[Dict[str, Any]] = None,
+    mapping: Optional[Dict[str, List[str]]] = None,
+    map_overrides: Optional[Dict[str, List[str]]] = None,
+    limits: Optional[Limits] = None,
+    name: str = "original",
+    name2: str = "fused",
+) -> Task:
+    payload: Dict[str, Any] = {
+        "source": source,
+        "source2": source2,
+        "entry": entry,
+        "name": name,
+        "name2": name2,
+        "options": dict(options or {}),
+    }
+    if mapping is not None:
+        payload["mapping"] = {k: sorted(v) for k, v in mapping.items()}
+    if map_overrides is not None:
+        payload["map_overrides"] = {
+            k: sorted(v) for k, v in map_overrides.items()
+        }
+    return Task(
+        kind="check-fusion",
+        payload=payload,
+        name=f"{name}-vs-{name2}",
+        limits=limits or Limits(),
+    )
+
+
+def task_for_case(case, cfg=None, limits: Optional[Limits] = None) -> Task:
+    from dataclasses import asdict
+
+    from ..conformance.oracle import OracleConfig
+
+    cfg = cfg or OracleConfig()
+    cfg_data = asdict(cfg)
+    cfg_data["field_seeds"] = list(cfg.field_seeds)
+    if cfg.fault is not None:
+        cfg_data["fault"] = list(cfg.fault)
+    return Task(
+        kind="fuzz-case",
+        payload={"case": asdict(case), "oracle": cfg_data},
+        name=case.name,
+        limits=limits or Limits(),
+    )
+
+
+def _worker_attempt_record(task: Task, attempt: Dict[str, Any]) -> Dict[str, Any]:
+    """A supervisor attempt rendered in the ladder's attempts format."""
+    rec = {
+        "rung": f"worker#{attempt['attempt']}",
+        "engine": "process",
+        "limits": task.limits.to_dict(),
+        "outcome": attempt["outcome"],
+        "elapsed": attempt["elapsed"],
+        "found": None,
+    }
+    for k in ("signal", "phase", "detail", "degraded"):
+        if attempt.get(k) not in (None, False):
+            rec[k] = attempt[k]
+    return rec
+
+
+def verification_from_supervised(supervised) -> "VerificationResult":
+    """Convert a supervised worker run of a ``check-*`` task back into
+    a :class:`~repro.core.api.VerificationResult`.
+
+    A child that never produced a verdict (crash/timeout after the
+    retry budget) yields ``verdict="unknown"`` with ``holds=False`` —
+    never a silent wrong answer — and every failed worker attempt
+    appears in ``details["attempts"]`` with its outcome class.
+    """
+    from ..core.api import VerificationResult
+    from ..core.witness import ReplayOutcome
+    from ..trees.heap import tree_from_tuple
+
+    task = supervised.task
+    final = supervised.final
+    failed_attempts = [
+        _worker_attempt_record(task, a)
+        for a in supervised.attempts
+        if a["outcome"] != "ok"
+    ]
+    query = {
+        "check-race": f"data-race({task.payload.get('name', task.name)})",
+        "check-fusion": (
+            f"equivalence({task.payload.get('name', 'p')} vs "
+            f"{task.payload.get('name2', 'q')})"
+        ),
+    }.get(task.kind, task.name)
+
+    if final.status == "ok":
+        value = final.value or {}
+        details = dict(value.get("details") or {})
+        details["attempts"] = failed_attempts + list(
+            details.get("attempts") or []
+        )
+        details["isolation"] = "process"
+        if supervised.degraded:
+            details["circuit_breaker"] = "open"
+        replay_data = value.get("replay")
+        return VerificationResult(
+            query=value.get("query", query),
+            verdict=value["verdict"],
+            engine=value.get("engine", "process"),
+            elapsed=final.elapsed,
+            holds=bool(value["holds"]),
+            witness=value.get("witness"),
+            witness_tree=(
+                tree_from_tuple(value["witness_tree"])
+                if value.get("witness_tree") is not None
+                else None
+            ),
+            replay=(
+                ReplayOutcome(
+                    confirmed=bool(replay_data["confirmed"]),
+                    detail=replay_data["detail"],
+                )
+                if replay_data
+                else None
+            ),
+            details=details,
+        )
+    details = {
+        "attempts": failed_attempts,
+        "decided_by": None,
+        "isolation": "process",
+        "worker": {
+            "status": final.status,
+            "outcome_class": final.outcome_class,
+            "detail": final.describe(),
+            "signal": final.signal,
+            "phase": final.phase,
+            "rss_kb": final.rss_kb,
+        },
+    }
+    if final.status == "failed":
+        details["worker"]["error"] = final.error
+    return VerificationResult(
+        query=query,
+        verdict="unknown",
+        engine="process",
+        elapsed=sum(a["elapsed"] for a in supervised.attempts),
+        holds=False,
+        details=details,
+    )
+
+
+def run_verification_isolated(task: Task, policy=None, supervisor=None):
+    """Run one ``check-*`` task under process isolation and supervision."""
+    from .supervisor import Supervisor
+
+    sup = supervisor or Supervisor(policy=policy)
+    return verification_from_supervised(sup.run_one(task))
+
+
+def run_case_isolated(
+    case,
+    cfg=None,
+    limits: Optional[Limits] = None,
+    policy=None,
+    supervisor=None,
+):
+    """Run one conformance case in a sandboxed worker.
+
+    A worker that dies — crash, rlimit exhaustion, wall-clock kill —
+    becomes an ``engine-error`` mismatch on the returned
+    :class:`~repro.conformance.oracle.CaseResult` instead of aborting
+    the fuzz loop: from the oracle's viewpoint, an engine that cannot
+    answer inside its sandbox *is* a broken engine.
+    """
+    from ..conformance.oracle import CaseResult, Mismatch
+    from .supervisor import Supervisor
+
+    sup = supervisor or Supervisor(policy=policy)
+    supervised = sup.run_one(task_for_case(case, cfg, limits))
+    final = supervised.final
+    result = CaseResult(case=case)
+    result.engines["worker_attempts"] = supervised.attempts
+    result.elapsed = sum(a["elapsed"] for a in supervised.attempts)
+    if final.status == "ok":
+        value = final.value or {}
+        result.mismatches = [
+            Mismatch(kind=m["kind"], detail=m["detail"])
+            for m in value.get("mismatches", ())
+        ]
+        result.warnings = list(value.get("warnings", ()))
+        result.engines.update(value.get("engines") or {})
+        return result
+    result.engines["worker"] = {
+        "status": final.status,
+        "outcome_class": final.outcome_class,
+        "signal": final.signal,
+        "phase": final.phase,
+        "rss_kb": final.rss_kb,
+    }
+    result.mismatches.append(
+        Mismatch(kind="engine-error", detail=f"isolated {final.describe()}")
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(child_main())

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import cli
 from repro.cli import main
 
 SIZECOUNT = """
@@ -116,3 +119,68 @@ class TestResourceFlags:
         )
         assert rc == 0
         assert "equivalent" in capsys.readouterr().out
+
+
+class TestUniformExitCodes:
+    def test_missing_file_exits_two(self, capsys):
+        rc = main(["check-race", "/nonexistent/prog.retreet",
+                   "--engine", "bounded"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.retreet"
+        bad.write_text("Main(n) { this is not a program")
+        rc = main(["check-race", str(bad), "--engine", "bounded"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_broken_manifest_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "m.json"
+        bad.write_text("{")
+        rc = main(["batch", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_interrupt_exits_130(self, monkeypatch, capsys):
+        def boom(_argv=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", boom)
+        rc = main(["check-race", "whatever"])
+        assert rc == 130
+        assert "interrupted (partial journal preserved)" in (
+            capsys.readouterr().err
+        )
+
+
+class TestIsolationFlag:
+    def test_check_race_process_isolation(self, racy_file, capsys):
+        rc = main(["check-race", racy_file, "--engine", "bounded",
+                   "--isolation", "process", "--wall-s", "60"])
+        assert rc == 1
+        assert "race" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_batch_run_and_resume(self, racy_file, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"options": {"engine": "bounded", "max_internal": 2},
+                         "limits": {"wall_s": 60.0}},
+            "tasks": [{"name": "racy", "kind": "check-race",
+                       "file": "racy.retreet"}],
+        }))
+        (tmp_path / "racy.retreet").write_text(RACY)
+        run_dir = tmp_path / "run"
+        rc = main(["batch", str(manifest), "--run-dir", str(run_dir),
+                   "--quiet"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "racy: race" in out and "results:" in out
+        assert (run_dir / "results.json").exists()
+
+        rc2 = main(["batch", str(manifest), "--resume", str(run_dir),
+                    "--quiet"])
+        assert rc2 == 1
+        assert "1 resumed" in capsys.readouterr().out

@@ -21,6 +21,7 @@ EXPECTED_NAMES = {
     "guarded-write-overapprox",
     "racefree-sizecount",
     "racy-parallel-write",
+    "rlimit-crash-reproducer",
     "t13-budget-status",
 }
 
@@ -38,6 +39,10 @@ def test_corpus_entry(entry):
         entry.name,
         [str(m) for m in result.mismatches],
     )
+    if "mismatch_kinds" in expect:
+        assert sorted(m.kind for m in result.mismatches) == sorted(
+            expect["mismatch_kinds"]
+        ), (entry.name, [str(m) for m in result.mismatches])
     for key in ("bounded_found", "symbolic_status", "bounded"):
         if key in expect:
             assert result.engines.get(key) == expect[key], (
