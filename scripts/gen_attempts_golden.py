@@ -1,0 +1,115 @@
+"""Regenerate the golden attempts-schema snapshots for the T1.x queries.
+
+The golden file pins ``details["attempts"]`` / ``details["decided_by"]``
+for a fast subset of the Table 1 case-study queries, normalized by
+dropping only the wall-clock ``elapsed`` field.  Every other attempt
+field (rung, engine, limits, outcome, found, note) is deterministic for
+these configurations — each query runs with ``mso_deadline_s=None`` so
+no limit in the schema depends on wall-clock time — which is what lets
+the refactor-safety test require byte-identical schemas.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/gen_attempts_golden.py
+
+and commit ``tests/golden/attempts_schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.casestudies import cycletree, sizecount, treemutation  # noqa: E402
+from repro.core.api import check_data_race, check_equivalence  # noqa: E402
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "golden"
+
+
+def golden_queries():
+    """name -> zero-argument callable producing a VerificationResult.
+
+    Deterministic-schema configurations only: ``mso_deadline_s=None``
+    keeps every recorded limit wall-clock independent, and the budgets
+    are machine-independent state counts.
+    """
+    return {
+        "t1.2-auto": lambda: check_equivalence(
+            sizecount.sequential_program(),
+            sizecount.fused_invalid(),
+            sizecount.invalid_fusion_correspondence(),
+            mso_deadline_s=None,
+            replay=False,
+        ),
+        "t1.3-auto": lambda: check_data_race(
+            sizecount.parallel_program(), mso_deadline_s=None, replay=False
+        ),
+        "t1.3-mso": lambda: check_data_race(
+            sizecount.parallel_program(),
+            engine="mso",
+            mso_deadline_s=None,
+            replay=False,
+        ),
+        "t1.4-auto": lambda: check_equivalence(
+            treemutation.original_program(),
+            treemutation.fused_program(),
+            treemutation.fusion_correspondence(),
+            mso_deadline_s=None,
+            replay=False,
+        ),
+        "t1.3-bounded2": lambda: check_data_race(
+            sizecount.parallel_program(),
+            engine="bounded",
+            max_internal=2,
+            replay=False,
+        ),
+        "t1.7-bounded2": lambda: check_data_race(
+            cycletree.parallel_program(),
+            engine="bounded",
+            max_internal=2,
+            replay=False,
+        ),
+        "t1.1-bounded3": lambda: check_equivalence(
+            sizecount.sequential_program(),
+            sizecount.fused_valid(),
+            sizecount.fusion_correspondence(),
+            engine="bounded",
+            max_internal=3,
+            replay=False,
+        ),
+    }
+
+
+def normalized_attempts(attempts):
+    """The schema projection: every field except wall-clock elapsed."""
+    return [{k: v for k, v in a.items() if k != "elapsed"} for a in attempts]
+
+
+def snapshot(res):
+    return {
+        "query": res.query,
+        "verdict": res.verdict,
+        "engine": res.engine,
+        "decided_by": res.details.get("decided_by"),
+        "attempts": normalized_attempts(res.details.get("attempts", [])),
+    }
+
+
+def main() -> int:
+    out = {}
+    for name, runner in golden_queries().items():
+        res = runner()
+        out[name] = snapshot(res)
+        print(f"{name}: {res.verdict} decided_by={out[name]['decided_by']}")
+    GOLDEN_PATH.mkdir(parents=True, exist_ok=True)
+    path = GOLDEN_PATH / "attempts_schema.json"
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,16 +146,20 @@ def _dispatch(argv=None) -> int:
 
     p_race = sub.add_parser("check-race", help="data-race-freeness (Thm 2)")
     p_race.add_argument("file")
-    p_race.add_argument("--engine", default="auto",
-                        choices=["auto", "mso", "bounded"])
+    p_race.add_argument("--engine", default="auto", metavar="SPEC",
+                        help="plan or engine name from the registry "
+                             "(auto, mso, bounded, ...); unknown names "
+                             "exit 2 listing the known ones")
     add_resource_flags(p_race)
     add_isolation_flags(p_race)
 
     p_fuse = sub.add_parser("check-fusion", help="equivalence (Thm 3)")
     p_fuse.add_argument("original")
     p_fuse.add_argument("fused")
-    p_fuse.add_argument("--engine", default="auto",
-                        choices=["auto", "mso", "bounded"])
+    p_fuse.add_argument("--engine", default="auto", metavar="SPEC",
+                        help="plan or engine name from the registry "
+                             "(auto, mso, bounded, ...); unknown names "
+                             "exit 2 listing the known ones")
     add_resource_flags(p_fuse)
     add_isolation_flags(p_fuse)
     p_fuse.add_argument(

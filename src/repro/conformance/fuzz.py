@@ -21,7 +21,14 @@ from typing import Callable, List, Optional, Tuple
 
 from ..gen import GenConfig, gen_equivalence_query, gen_race_query
 from .corpus import save_entry
-from .oracle import Case, CaseResult, Mismatch, OracleConfig, run_case
+from .oracle import (
+    Case,
+    CaseResult,
+    Mismatch,
+    OracleConfig,
+    query_for_case,
+    run_case,
+)
 from .shrink import shrink_case
 
 __all__ = ["FuzzReport", "run_fuzz", "case_for_seed"]
@@ -41,6 +48,7 @@ class FuzzReport:
     cases: int = 0
     race_cases: int = 0
     equiv_cases: int = 0
+    deduped: int = 0
     mismatches: List[Tuple[Case, List[Mismatch]]] = dc_field(default_factory=list)
     warnings: List[str] = dc_field(default_factory=list)
     corpus_paths: List[Path] = dc_field(default_factory=list)
@@ -58,6 +66,10 @@ class FuzzReport:
             + ("no mismatches" if self.ok else
                f"{len(self.mismatches)} MISMATCHING case(s)")
         ]
+        if self.deduped:
+            lines.append(
+                f"  ({self.deduped} duplicate case(s) skipped by query key)"
+            )
         for case, mms in self.mismatches:
             for m in mms:
                 lines.append(f"  {case.name}: {m}")
@@ -122,6 +134,7 @@ def run_fuzz(
     deadline = t0 + budget_s
     report = FuzzReport(seed=seed)
     say = log or (lambda _msg: None)
+    seen_keys: set = set()
     i = 0
     while time.perf_counter() < deadline:
         if max_cases is not None and i >= max_cases:
@@ -131,6 +144,18 @@ def run_fuzz(
             break
         case = case_for_seed(seed, i, max_internal=max_internal)
         i += 1
+        # Dedup by content key: two generator seeds that print the same
+        # program(s) ask the same query, and the oracle's verdict is a
+        # function of the query — rerunning it cannot find anything new.
+        try:
+            key = query_for_case(case).key()
+        except Exception:
+            key = None  # unparseable case: let the oracle report it
+        if key is not None:
+            if key in seen_keys:
+                report.deduped += 1
+                continue
+            seen_keys.add(key)
         # Never let one symbolic query blow the whole budget.
         remaining = max(deadline - time.perf_counter(), 0.5)
         case_cfg = replace(

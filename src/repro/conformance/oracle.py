@@ -1,17 +1,17 @@
 """The three-engine differential oracle.
 
 A conformance :class:`Case` (one race query or one equivalence query) is
-run through every engine we have:
+lifted into the Query IR (:mod:`repro.engine.query`) and run through
+every registered engine:
 
-* the **interpreter** — dynamic happens-before race detection plus
-  schedule-outcome enumeration (:func:`repro.interp.program_schedule_outcomes`)
-  on every tree shape in scope, under several seeded field valuations;
-* the **bounded engine** — exhaustive on the same scope
-  (:func:`repro.core.bounded.check_data_race_bounded` /
-  :func:`check_conflict_bounded` via :func:`repro.core.api`);
-* the **symbolic engine** — the guarded MSO pipeline, called *directly*
-  (not through the degradation ladder) so its raw verdict is never
-  masked by a fallback rung.
+* the **interpreter** (``get_engine("interp")``) — dynamic
+  happens-before race detection plus schedule-outcome enumeration on
+  every tree shape in scope, under several seeded field valuations;
+* the **bounded engine** (``get_engine("bounded")``) — exhaustive on
+  the same scope;
+* the **symbolic engine** (``get_engine("mso")``) — the guarded MSO
+  pipeline, called *raw* through :meth:`Engine.run` (never through a
+  plan/ladder) so its verdict is never masked by a fallback rung.
 
 The engines are then checked against the soundness lattice the paper's
 theorems induce (dynamic ⊆ bounded ⊆ symbolic):
@@ -44,21 +44,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.api import check_equivalence
-from ..core.bounded import check_data_race_bounded, default_scope
-from ..core.symbolic import check_data_race_mso
 from ..core.transform import correspondence_by_key
-from ..interp import program_races_on, program_schedule_outcomes, run
+from ..engine import (
+    EquivalenceQuery,
+    Limits,
+    RaceQuery,
+    get_engine,
+    program_fields,
+)
 from ..lang import ast as A
 from ..lang.blocks import BlockTable
 from ..lang.parser import parse_program
 from ..lang.validate import validate
-from ..runtime import ResourceGuard, SolverInternalError
+from ..runtime import SolverInternalError
 from ..runtime import faults as fault_mod
-from ..solver.solver import MSOSolver
-from ..trees.generators import assign_fields
 from .replay import replay_race_witness
 
 __all__ = [
@@ -67,6 +69,7 @@ __all__ = [
     "Mismatch",
     "CaseResult",
     "run_case",
+    "query_for_case",
     "program_fields",
 ]
 
@@ -96,6 +99,20 @@ class Case:
             q = parse_program(self.source2, name=f"{self.name}-q")
             validate(q)
         return p, q
+
+
+def query_for_case(case: Case) -> Union[RaceQuery, EquivalenceQuery]:
+    """The Query-IR object a case asks — its :meth:`~repro.engine.query.
+    RaceQuery.key` is the content hash the fuzzer dedups on and the
+    result cache stores under."""
+    p, q = case.programs()
+    if case.kind == "race":
+        return RaceQuery(program=p, scope=case.max_internal)
+    assert q is not None
+    mapping = correspondence_by_key(p, q, strict=False)
+    return EquivalenceQuery(
+        program=p, program2=q, mapping=mapping, scope=case.max_internal
+    )
 
 
 @dataclass(frozen=True)
@@ -138,84 +155,26 @@ class CaseResult:
         return not self.mismatches
 
 
-def program_fields(program: A.Program) -> List[str]:
-    """All field names the program touches."""
-    from ..core.readwrite import ReadWriteAnalysis
-
-    table = BlockTable(program)
-    rw = ReadWriteAnalysis(table)
-    fields = set()
-    for b in table.all_noncalls:
-        for c in rw.access(b).readwrites:
-            if c.kind == "field":
-                fields.add(c.name)
-    return sorted(fields)
-
-
 # ----------------------------------------------------------------------
-# Interpreter-level evidence
+# Symbolic engine, called raw (no plan)
 
 
-def _interp_race_evidence(
-    program: A.Program, trees, fields, cfg: OracleConfig
-) -> Optional[str]:
-    """A concrete race on some in-scope tree/valuation, or None.
-
-    The fork-join happens-before relation is schedule-independent, so
-    one run per (tree, valuation) decides racefreeness on that input.
-    """
-    for tree in trees:
-        for seed in cfg.field_seeds:
-            work = tree.clone()
-            if fields:
-                assign_fields(work, fields, seed=seed, value_range=(0, 5))
-            races = program_races_on(program, work)
-            if races:
-                return (
-                    f"tree {work.paths() or ['(root)']} seed {seed}: {races[0]}"
-                )
-    return None
-
-
-def _schedule_divergence(
-    program: A.Program, trees, fields, cfg: OracleConfig
-) -> Optional[str]:
-    """A tree/valuation where interleavings yield different outcomes."""
-    for tree in trees:
-        for seed in cfg.field_seeds:
-            work = tree.clone()
-            if fields:
-                assign_fields(work, fields, seed=seed, value_range=(0, 5))
-            keys, exhaustive = program_schedule_outcomes(
-                program, work, fields=fields, max_schedules=cfg.schedule_cap
-            )
-            if len(keys) > 1:
-                how = "exhaustive" if exhaustive else "sampled"
-                return (
-                    f"tree {work.paths() or ['(root)']} seed {seed}: "
-                    f"{len(keys)} distinct outcomes across {how} schedules"
-                )
-    return None
-
-
-# ----------------------------------------------------------------------
-# Symbolic engine, called raw (no ladder)
-
-
-def _symbolic_race(program: A.Program, cfg: OracleConfig):
+def _symbolic_raw(query, cfg: OracleConfig):
     """Raw symbolic verdict, with the configured fault (if any) armed."""
-    solver = MSOSolver(
-        det_budget=cfg.det_budget, product_budget=cfg.product_budget
-    )
-    guard = ResourceGuard.start(deadline_s=cfg.sym_deadline_s)
     if cfg.fault is not None:
         probe, hit, action = cfg.fault
         fault_mod.disarm_all()
         fault_mod.arm(probe, hit=hit, action=action)
     try:
-        return check_data_race_mso(program, solver=solver, guard=guard)
+        return get_engine("mso").run(
+            query,
+            limits=Limits(
+                det_budget=cfg.det_budget,
+                product_budget=cfg.product_budget,
+                mso_deadline_s=cfg.sym_deadline_s,
+            ),
+        )
     finally:
-        guard.unbind_managers()
         if cfg.fault is not None:
             fault_mod.disarm_all()
 
@@ -228,14 +187,15 @@ def _check_race_case(
     case: Case, cfg: OracleConfig, result: CaseResult
 ) -> None:
     program, _ = case.programs()
+    query = RaceQuery(program=program, scope=case.max_internal)
     fields = program_fields(program)
-    trees = default_scope(case.max_internal)
+    interp = get_engine("interp")
 
-    interp_race = _interp_race_evidence(program, trees, fields, cfg)
+    interp_race = interp.race_evidence(query, field_seeds=cfg.field_seeds)
     result.engines["interp_race"] = interp_race
 
-    bounded = check_data_race_bounded(program, max_internal=case.max_internal)
-    result.engines["bounded"] = str(bounded)
+    bounded = get_engine("bounded").run(query)
+    result.engines["bounded"] = bounded.detail
     result.engines["bounded_found"] = bounded.found
 
     # Lattice: dynamic race ⇒ bounded race (the abstraction
@@ -250,7 +210,9 @@ def _check_race_case(
     # divergent outcome under a race-free verdict means the
     # happens-before relation (or the bounded abstraction) lost a race.
     if not bounded.found:
-        div = _schedule_divergence(program, trees, fields, cfg)
+        div = interp.schedule_divergence(
+            query, field_seeds=cfg.field_seeds, schedule_cap=cfg.schedule_cap
+        )
         if div:
             result.mismatches.append(Mismatch(
                 "schedule-divergence",
@@ -261,7 +223,7 @@ def _check_race_case(
         cells = getattr(bounded.witness, "cells", ())
         if any(str(c).startswith("field:") for c in cells):
             rep = replay_race_witness(
-                program, bounded.witness.tree, fields, seeds=cfg.field_seeds
+                program, bounded.witness_tree, fields, seeds=cfg.field_seeds
             )
             result.engines["bounded_replay"] = rep.detail
             if not rep.confirmed:
@@ -280,17 +242,15 @@ def _check_race_case(
     if not cfg.run_symbolic:
         return
     try:
-        sym = _symbolic_race(program, cfg)
+        sym = _symbolic_raw(query, cfg)
     except SolverInternalError as e:
         result.mismatches.append(Mismatch(
             "engine-error", f"symbolic engine failed: {e}"
         ))
         return
-    result.engines["symbolic"] = str(sym)
+    result.engines["symbolic"] = sym.detail
     result.engines["symbolic_status"] = sym.status
-    result.engines["symbolic_found"] = (
-        sym.found if sym.status == "decided" else None
-    )
+    result.engines["symbolic_found"] = sym.found
 
     if sym.status != "decided":
         # PR 2 invariant: an undecided run never carries a witness.
@@ -322,7 +282,7 @@ def _check_race_case(
             ))
     elif sym.witness is not None:
         rep = replay_race_witness(
-            program, sym.witness.tree, fields, seeds=cfg.field_seeds
+            program, sym.witness_tree, fields, seeds=cfg.field_seeds
         )
         result.engines["symbolic_replay"] = rep.detail
         if not rep.confirmed:
@@ -332,39 +292,16 @@ def _check_race_case(
             )
 
 
-def _concrete_divergence(
-    p: A.Program, q: A.Program, trees, fields, cfg: OracleConfig
-) -> Optional[str]:
-    """A scope tree/valuation where the two programs observably differ
-    under the deterministic left-first schedule."""
-    for tree in trees:
-        for seed in cfg.field_seeds:
-            base = tree.clone()
-            if fields:
-                assign_fields(base, fields, seed=seed, value_range=(0, 5))
-            ra = run(p, base)
-            rb = run(q, base)
-            if ra.returns != rb.returns:
-                return (
-                    f"tree {base.paths() or ['(root)']} seed {seed}: "
-                    f"returns {ra.returns} vs {rb.returns}"
-                )
-            if fields and ra.field_snapshot(fields) != rb.field_snapshot(fields):
-                return (
-                    f"tree {base.paths() or ['(root)']} seed {seed}: "
-                    "heap states differ"
-                )
-    return None
-
-
 def _check_equiv_case(
     case: Case, cfg: OracleConfig, result: CaseResult
 ) -> None:
     p, q = case.programs()
     assert q is not None
-    fields = sorted(set(program_fields(p)) | set(program_fields(q)))
-    trees = default_scope(case.max_internal)
     mapping = correspondence_by_key(p, q, strict=False)
+    query = EquivalenceQuery(
+        program=p, program2=q, mapping=mapping, scope=case.max_internal
+    )
+    bounded_eng = get_engine("bounded")
     # Thm 3 needs a *total* non-call correspondence; with a partial one
     # an "equivalent" verdict is outside the API's contract, so the
     # concrete-divergence rule is not escalated to a mismatch.
@@ -375,16 +312,18 @@ def _check_equiv_case(
 
     # Thm 3's guarantee only applies to race-free programs (footnote 7);
     # the concrete-divergence rule is gated on that precondition.
-    p_racefree = not check_data_race_bounded(
-        p, max_internal=case.max_internal
+    p_racefree = not bounded_eng.run(
+        RaceQuery(program=p, scope=case.max_internal)
     ).found
-    q_racefree = not check_data_race_bounded(
-        q, max_internal=case.max_internal
+    q_racefree = not bounded_eng.run(
+        RaceQuery(program=q, scope=case.max_internal)
     ).found
     result.engines["precondition_racefree"] = p_racefree and q_racefree
 
     divergence = (
-        _concrete_divergence(p, q, trees, fields, cfg)
+        get_engine("interp").concrete_divergence(
+            query, field_seeds=cfg.field_seeds
+        )
         if p_racefree and q_racefree
         else None
     )

@@ -1,54 +1,74 @@
 """Top-level verification API: the Fig. 1 pipeline as two calls.
 
-``check_data_race`` (Thm 2) and ``check_equivalence`` (Thm 3) dispatch to:
+``check_data_race`` (Thm 2) and ``check_equivalence`` (Thm 3) are thin
+façades over :mod:`repro.engine`: each call builds a Query-IR object
+(:class:`~repro.engine.query.RaceQuery` /
+:class:`~repro.engine.query.EquivalenceQuery`), resolves the ``engine=``
+spec to a declarative :class:`~repro.engine.plan.Plan` through the
+engine registry, and hands both to the
+:class:`~repro.engine.plan.PlanExecutor`:
 
-* the **symbolic engine** (``engine="mso"``) — the paper's MSO/automata
-  pipeline, deciding over all trees;
-* the **bounded engine** (``engine="bounded"``) — exhaustive on every tree
-  shape up to a bound;
-* ``engine="auto"`` — a **degradation ladder** (DESIGN.md §7): the lazy
-  symbolic engine under a :class:`~repro.runtime.ResourceGuard`, one
-  retry with escalated budgets when only the state budget was exhausted
-  (wall clock permitting), then the bounded checker, shrinking its scope
-  whenever a rung overruns its own limits.  Every rung attempted is
-  recorded in ``details["attempts"]`` and ``details["decided_by"]`` names
-  the rung whose answer is reported.
+* ``engine="mso"`` — the paper's MSO/automata pipeline, deciding over
+  all trees;
+* ``engine="bounded"`` — exhaustive on every tree shape up to a bound;
+* ``engine="auto"`` — the **degradation ladder** (DESIGN.md §7/§10):
+  the lazy symbolic engine under a :class:`~repro.runtime.
+  ResourceGuard`, one retry with escalated budgets when only the state
+  budget was exhausted (wall clock permitting), then the bounded
+  checker, shrinking its scope whenever a rung overruns its own limits;
+* any other registered engine name resolves through the registry; an
+  unknown name raises ``ValueError`` listing the known ones.
 
-A query no rung could decide returns ``verdict="unknown"`` with
+Every rung attempted is recorded in ``details["attempts"]`` and
+``details["decided_by"]`` names the rung whose answer is reported.  A
+query no rung could decide returns ``verdict="unknown"`` with
 ``holds=False`` — never a silent ``race-free``/``equivalent``.
 Counterexamples are automatically replayed against the concrete
 interpreter (:mod:`repro.core.witness`), automating the paper's manual
 true-positive check.
+
+Passing ``cache=`` a :class:`~repro.engine.cache.ResultCache` makes the
+call consult and feed the content-addressed verdict cache; reuse is
+gated on the deciding engine's declared capabilities (see
+:mod:`repro.engine.cache`), and cache traffic is surfaced in
+``details["cache"]``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
+from ..engine import (
+    EquivalenceQuery,
+    Limits as QueryLimits,
+    PlanExecutor,
+    RaceQuery,
+    plan_for,
+    program_fields,
+)
+from ..engine.plan import (
+    LADDER_ESCALATION,
+    merge_verdicts,
+    plan_for as _plan_for,
+    run_scope_rungs,
+    run_symbolic_rungs,
+)
 from ..lang import ast as A
 from ..lang.validate import validate
-from ..runtime import (
-    ResourceExhausted,
-    ResourceGuard,
-    SolverInternalError,
-    exhaustion_status,
-)
-from ..solver.solver import MSOSolver
 from ..trees.heap import Tree
 from .bisim import check_bisimulation
-from .bounded import BoundedVerdict, check_conflict_bounded, check_data_race_bounded
-from .symbolic import SymbolicVerdict, check_conflict_mso, check_data_race_mso
 from .witness import ReplayOutcome, replay_conflict, replay_race
 
-__all__ = ["VerificationResult", "check_data_race", "check_equivalence"]
-
-# One retry rung multiplies the symbolic budgets by this factor.
-LADDER_ESCALATION = 4
-# Skip the retry rung when less wall-clock than this remains; the
-# escalated run would only burn the bounded engine's time.
-_MIN_RETRY_S = 1.0
+__all__ = [
+    "VerificationResult",
+    "check_data_race",
+    "check_equivalence",
+    "verification_to_dict",
+    "verification_from_dict",
+    "LADDER_ESCALATION",
+]
 
 
 @dataclass
@@ -85,212 +105,154 @@ class VerificationResult:
         )
 
 
-def _program_fields(program: A.Program) -> list:
-    """All field names the program touches (for replay field seeding)."""
-    from ..lang.blocks import BlockTable
-    from .readwrite import ReadWriteAnalysis
+# ----------------------------------------------------------------------
+# Wire format (shared by the worker protocol and the result cache)
 
-    table = BlockTable(program)
-    rw = ReadWriteAnalysis(table)
-    fields = set()
-    for b in table.all_noncalls:
-        for c in rw.access(b).readwrites:
-            if c.kind == "field":
-                fields.add(c.name)
-    return sorted(fields)
+
+def verification_to_dict(res: VerificationResult) -> Dict[str, object]:
+    """JSON-plain rendering of a result (the worker wire format)."""
+    from ..service.protocol import jsonable
+    from ..trees.heap import tree_to_tuple
+
+    return {
+        "query": res.query,
+        "verdict": res.verdict,
+        "engine": res.engine,
+        "elapsed": res.elapsed,
+        "holds": res.holds,
+        "witness": str(res.witness) if res.witness is not None else None,
+        "witness_tree": (
+            tree_to_tuple(res.witness_tree)
+            if res.witness_tree is not None
+            else None
+        ),
+        "replay": (
+            {"confirmed": res.replay.confirmed, "detail": res.replay.detail}
+            if res.replay is not None
+            else None
+        ),
+        "details": jsonable(res.details),
+    }
+
+
+def verification_from_dict(
+    value: Dict[str, object],
+    default_query: str = "",
+    default_engine: str = "process",
+    elapsed: Optional[float] = None,
+) -> VerificationResult:
+    """Lift a wire-format result dict back into a
+    :class:`VerificationResult` (witness becomes its string rendering;
+    the witness tree is reconstructed)."""
+    from ..trees.heap import tree_from_tuple
+
+    replay_data = value.get("replay")
+    return VerificationResult(
+        query=value.get("query", default_query),
+        verdict=value["verdict"],
+        engine=value.get("engine", default_engine),
+        elapsed=(
+            elapsed if elapsed is not None else float(value.get("elapsed", 0.0))
+        ),
+        holds=bool(value["holds"]),
+        witness=value.get("witness"),
+        witness_tree=(
+            tree_from_tuple(value["witness_tree"])
+            if value.get("witness_tree") is not None
+            else None
+        ),
+        replay=(
+            ReplayOutcome(
+                confirmed=bool(replay_data["confirmed"]),
+                detail=replay_data["detail"],
+            )
+            if replay_data
+            else None
+        ),
+        details=dict(value.get("details") or {}),
+    )
 
 
 # ----------------------------------------------------------------------
-# Degradation ladder
+# Backwards-compatible ladder aliases (the implementations live in
+# repro.engine.plan; these shims keep the historical core.api surface —
+# used by older tests and external callers — importable).
 
 
-def _record_attempt(
-    attempts: List[Dict[str, object]],
-    rung: str,
-    engine: str,
-    limits: Dict[str, object],
-    outcome: str,
-    t0: float,
-    note: Optional[str] = None,
-    found: Optional[bool] = None,
-) -> None:
-    """``found`` is the rung's *raw* verdict — True (counterexample),
-    False (clean), or None (undecided/errored) — recorded for every rung
-    even when a later rung ends up deciding the query, so differential
-    oracles can cross-check the rungs against each other."""
-    entry: Dict[str, object] = {
-        "rung": rung,
-        "engine": engine,
-        "limits": limits,
-        "outcome": outcome,
-        "elapsed": round(time.perf_counter() - t0, 6),
-        "found": found,
-    }
-    if note is not None:
-        entry["note"] = note
-    attempts.append(entry)
+_program_fields = program_fields
+_merge_race = merge_verdicts
 
 
 def _symbolic_ladder(
-    run_sym: Callable[[MSOSolver, ResourceGuard], SymbolicVerdict],
-    engine: str,
-    det_budget: int,
-    mso_deadline_s: Optional[float],
-    node_ceiling: Optional[int],
-    attempts: List[Dict[str, object]],
-    details: Dict[str, object],
-) -> Tuple[Optional[SymbolicVerdict], Optional[str]]:
-    """Symbolic rungs: one guarded run, plus one escalated retry.
-
-    The retry only fires under ``engine="auto"`` when the first run died
-    on its *state budget* (a deadline or memory ceiling would just be hit
-    again) and enough wall clock remains; it shares the first run's
-    absolute deadline so the two rungs together never exceed
-    ``mso_deadline_s``.  ``SolverInternalError`` propagates when the
-    caller demanded ``engine="mso"``; under ``auto`` it is recorded and
-    the ladder falls through to the bounded engine.
-    """
-    guard = ResourceGuard.start(
-        deadline_s=mso_deadline_s, node_ceiling=node_ceiling
-    )
-    solver = MSOSolver(det_budget=det_budget)
-    limits: Dict[str, object] = {
-        "det_budget": det_budget,
-        "product_budget": solver.product_budget,
-        "deadline_s": mso_deadline_s,
-        "node_ceiling": node_ceiling,
-    }
-    t0 = time.perf_counter()
-    try:
-        sym = run_sym(solver, guard)
-    except SolverInternalError as e:
-        _record_attempt(attempts, "mso", "mso", limits, "error", t0, note=str(e))
-        details["mso_error"] = str(e)
-        if engine == "mso":
-            raise
-        return None, None
-    finally:
-        guard.unbind_managers()
-    _record_attempt(
-        attempts,
-        "mso",
-        "mso",
-        limits,
-        sym.status,
-        t0,
-        note="counterexample" if sym.found else None,
-        found=sym.found if sym.status == "decided" else None,
-    )
-    if sym.status != "budget" or engine != "auto":
-        return sym, "mso"
-    remaining = guard.remaining_s()
-    if remaining is not None and remaining < _MIN_RETRY_S:
-        return sym, "mso"
-
-    solver2 = MSOSolver(
-        det_budget=det_budget * LADDER_ESCALATION,
-        product_budget=solver.product_budget * LADDER_ESCALATION,
-    )
-    guard2 = ResourceGuard(deadline=guard.deadline, node_ceiling=node_ceiling)
-    limits2: Dict[str, object] = {
-        "det_budget": solver2.compiler.det_budget,
-        "product_budget": solver2.product_budget,
-        "deadline_s": round(remaining, 3) if remaining is not None else None,
-        "node_ceiling": node_ceiling,
-    }
-    t1 = time.perf_counter()
-    try:
-        sym2 = run_sym(solver2, guard2)
-    except SolverInternalError as e:
-        _record_attempt(
-            attempts, "mso-retry", "mso", limits2, "error", t1, note=str(e)
-        )
-        details["mso_error"] = str(e)
-        return sym, "mso"
-    finally:
-        guard2.unbind_managers()
-    _record_attempt(
-        attempts,
-        "mso-retry",
-        "mso",
-        limits2,
-        sym2.status,
-        t1,
-        note="counterexample" if sym2.found else None,
-        found=sym2.found if sym2.status == "decided" else None,
-    )
-    if sym2.status == "decided":
-        return sym2, "mso-retry"
-    return sym, "mso"
-
-
-def _bounded_ladder(
-    run_bnd: Callable[[int, Optional[ResourceGuard]], BoundedVerdict],
-    max_internal: int,
-    bounded_deadline_s: Optional[float],
-    attempts: List[Dict[str, object]],
-) -> Tuple[Optional[BoundedVerdict], Optional[int]]:
-    """Bounded rungs: shrink the scope until a run fits its limits.
-
-    With no ``bounded_deadline_s`` the first (largest-scope) run always
-    completes — the seed behaviour.  With one, each scope gets a fresh
-    deadline; an overrun shrinks the scope instead of failing the query.
-    """
-    for scope in range(max_internal, 0, -1):
-        rung = f"bounded@{scope}"
-        guard = (
-            ResourceGuard.start(deadline_s=bounded_deadline_s)
-            if bounded_deadline_s is not None
-            else None
-        )
-        limits: Dict[str, object] = {
-            "max_internal": scope,
-            "deadline_s": bounded_deadline_s,
-        }
-        t0 = time.perf_counter()
-        try:
-            bnd = run_bnd(scope, guard)
-        except ResourceExhausted as e:
-            _record_attempt(
-                attempts, rung, "bounded", limits, exhaustion_status(e), t0
-            )
-            continue
-        _record_attempt(
-            attempts,
-            rung,
-            "bounded",
-            limits,
-            "decided",
-            t0,
-            note="counterexample" if bnd.found else None,
-            found=bnd.found,
-        )
-        return bnd, scope
-    return None, None
-
-
-def _merge_race(
-    sym: Optional[SymbolicVerdict], bnd: Optional[BoundedVerdict]
+    run_sym, engine, det_budget, mso_deadline_s, node_ceiling, attempts,
+    details,
 ):
-    """Pick the verdict source: a *decided* symbolic result wins, then a
-    bounded result.  An undecided symbolic run never contributes a
-    verdict or witness — its partial state is not evidence."""
-    if sym is not None and sym.status == "decided":
-        tree = sym.witness.tree if (sym.found and sym.witness) else None
-        return sym.found, tree, sym.witness
-    if bnd is not None:
-        tree = bnd.witness.tree if (bnd.found and bnd.witness) else None
-        return bnd.found, tree, bnd.witness
-    return False, None, None
+    rungs = _plan_for(engine).symbolic_rungs()
+    return run_symbolic_rungs(
+        run_sym, rungs, det_budget, mso_deadline_s, node_ceiling, attempts,
+        details,
+    )
 
 
-def _note_symbolic(details: Dict[str, object], sym: SymbolicVerdict) -> None:
-    details["mso"] = str(sym)
-    details["mso_status"] = sym.status
-    details["mso_queries"] = sym.queries
-    details["mso_reached_states"] = sym.max_states
-    if sym.stats is not None:
-        details["mso_stats"] = sym.stats
+def _bounded_ladder(run_bnd, max_internal, bounded_deadline_s, attempts):
+    rung = _plan_for("bounded").scope_rung()
+    return run_scope_rungs(
+        run_bnd, rung, max_internal, bounded_deadline_s, attempts
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache plumbing
+
+
+def _decided_engine(decided_by, attempts) -> Optional[str]:
+    """The engine name behind a ``decided_by`` rung (``"bisim"`` for the
+    equivalence fast path, which records no attempt)."""
+    if decided_by is None:
+        return None
+    if decided_by == "bisim":
+        return "bisim"
+    for a in attempts:
+        if a.get("rung") == decided_by:
+            return a.get("engine")
+    return None
+
+
+def _cache_lookup(cache, query, plan, t0, allow_bisim=True):
+    record = cache.lookup(query, plan, allow_bisim=allow_bisim)
+    if record is None:
+        return None
+    res = verification_from_dict(
+        record["result"],
+        default_query=query.display(),
+        elapsed=time.perf_counter() - t0,
+    )
+    res.details["cache"] = {
+        "hit": True,
+        "key": record["key"],
+        "stats": cache.stats.as_dict(),
+    }
+    return res
+
+
+def _cache_store(cache, query, res: VerificationResult) -> None:
+    decided_by = res.details.get("decided_by")
+    attempts = res.details.get("attempts") or []
+    wire = verification_to_dict(res)
+    stored = cache.store(
+        query,
+        res.verdict,
+        res.holds,
+        decided_by,
+        _decided_engine(decided_by, attempts),
+        wire,
+    )
+    res.details["cache"] = {
+        "hit": False,
+        "key": query.key(),
+        "stored": stored,
+        "stats": cache.stats.as_dict(),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -359,16 +321,34 @@ def check_data_race(
     wall_s: Optional[float] = None,
     cpu_s: Optional[float] = None,
     mem_bytes: Optional[int] = None,
+    cache=None,
 ) -> VerificationResult:
     """Is the program data-race-free (paper Thm 2)?
 
     ``isolation="process"`` runs the whole query in a sandboxed,
     supervised child process (``wall_s``/``cpu_s``/``mem_bytes`` become
     hard OS limits on it); the default ``"inline"`` solves in-process.
+    ``cache=`` an optional :class:`~repro.engine.cache.ResultCache`.
     """
     validate(program)
+    t0 = time.perf_counter()
+    plan = plan_for(engine)
+    query = RaceQuery(
+        program=program,
+        scope=max_internal,
+        limits=QueryLimits(
+            det_budget=det_budget,
+            mso_deadline_s=mso_deadline_s,
+            node_ceiling=node_ceiling,
+            bounded_deadline_s=bounded_deadline_s,
+        ),
+    )
+    if cache is not None:
+        hit = _cache_lookup(cache, query, plan, t0)
+        if hit is not None:
+            return hit
     if isolation == "process":
-        return _isolated(
+        res = _isolated(
             "check-race",
             (program,),
             {
@@ -384,75 +364,35 @@ def check_data_race(
                 "mem_bytes": mem_bytes,
             },
         )
+        if cache is not None:
+            _cache_store(cache, query, res)
+        return res
     if isolation != "inline":
         raise ValueError(f"unknown isolation mode {isolation!r}")
-    t0 = time.perf_counter()
-    attempts: List[Dict[str, object]] = []
-    details: Dict[str, object] = {"attempts": attempts}
-    used = engine
-    sym: Optional[SymbolicVerdict] = None
-    bnd: Optional[BoundedVerdict] = None
-    sym_rung: Optional[str] = None
-    bnd_scope: Optional[int] = None
 
-    if engine in ("mso", "auto"):
-        sym, sym_rung = _symbolic_ladder(
-            lambda solver, guard: check_data_race_mso(
-                program, solver=solver, guard=guard
-            ),
-            engine,
-            det_budget,
-            mso_deadline_s,
-            node_ceiling,
-            attempts,
-            details,
-        )
-        if sym is not None:
-            _note_symbolic(details, sym)
-        if sym is not None and sym.status == "decided":
-            used = "mso"
-        elif engine == "mso":
-            used = "mso"
-        else:
-            used = "mso+bounded"
-    if engine == "bounded" or (engine == "auto" and used == "mso+bounded"):
-        bnd, bnd_scope = _bounded_ladder(
-            lambda scope, guard: check_data_race_bounded(
-                program, max_internal=scope, guard=guard
-            ),
-            max_internal,
-            bounded_deadline_s,
-            attempts,
-        )
-        if bnd is not None:
-            details["bounded"] = str(bnd)
-        if engine == "bounded":
-            used = "bounded"
-
-    found, witness_tree, witness = _merge_race(sym, bnd)
-    verdict = "race" if found else "race-free"
-    sym_decided = sym is not None and sym.status == "decided"
-    if not sym_decided and bnd is None:
+    outcome = PlanExecutor(cache=cache).execute(query, plan)
+    verdict = "race" if outcome.found else "race-free"
+    if outcome.undecided:
         verdict = "unknown"
-    details["decided_by"] = (
-        None
-        if verdict == "unknown"
-        else (sym_rung if sym_decided else f"bounded@{bnd_scope}")
-    )
     rep = None
-    if replay and found and witness_tree is not None:
-        rep = replay_race(program, witness_tree, _program_fields(program))
-    return VerificationResult(
-        query=f"data-race({program.name})",
+    if replay and outcome.found and outcome.witness_tree is not None:
+        rep = replay_race(
+            program, outcome.witness_tree, program_fields(program)
+        )
+    res = VerificationResult(
+        query=query.display(),
         verdict=verdict,
-        engine=used,
+        engine=outcome.engine_label,
         elapsed=time.perf_counter() - t0,
-        holds=not found and verdict != "unknown",
-        witness=witness,
-        witness_tree=witness_tree,
+        holds=not outcome.found and verdict != "unknown",
+        witness=outcome.witness,
+        witness_tree=outcome.witness_tree,
         replay=rep,
-        details=details,
+        details=outcome.details,
     )
+    if cache is not None:
+        _cache_store(cache, query, res)
+    return res
 
 
 def check_equivalence(
@@ -471,6 +411,7 @@ def check_equivalence(
     wall_s: Optional[float] = None,
     cpu_s: Optional[float] = None,
     mem_bytes: Optional[int] = None,
+    cache=None,
 ) -> VerificationResult:
     """Are the two programs equivalent under the block correspondence
     (paper Thm 3: bisimilar and conflict-free)?
@@ -478,12 +419,31 @@ def check_equivalence(
     Precondition per the paper: both programs are data-race-free (footnote
     7); check separately with :func:`check_data_race`.
     ``isolation="process"`` sandboxes the query as in
-    :func:`check_data_race`.
+    :func:`check_data_race`; ``cache=`` an optional
+    :class:`~repro.engine.cache.ResultCache`.
     """
     validate(p)
     validate(p_prime)
+    t0 = time.perf_counter()
+    plan = plan_for(engine)
+    query = EquivalenceQuery(
+        program=p,
+        program2=p_prime,
+        mapping=mapping,
+        scope=max_internal,
+        limits=QueryLimits(
+            det_budget=det_budget,
+            mso_deadline_s=mso_deadline_s,
+            node_ceiling=node_ceiling,
+            bounded_deadline_s=bounded_deadline_s,
+        ),
+    )
+    if cache is not None:
+        hit = _cache_lookup(cache, query, plan, t0, allow_bisim=check_bisim)
+        if hit is not None:
+            return hit
     if isolation == "process":
-        return _isolated(
+        res = _isolated(
             "check-fusion",
             (p, p_prime),
             {
@@ -501,86 +461,54 @@ def check_equivalence(
             },
             mapping=mapping,
         )
+        if cache is not None:
+            _cache_store(cache, query, res)
+        return res
     if isolation != "inline":
         raise ValueError(f"unknown isolation mode {isolation!r}")
-    t0 = time.perf_counter()
-    attempts: List[Dict[str, object]] = []
-    details: Dict[str, object] = {"attempts": attempts}
+
     if check_bisim:
         bis = check_bisimulation(p, p_prime, mapping)
-        details["bisimulation"] = str(bis)
         if not bis.bisimilar:
-            details["decided_by"] = "bisim"
-            return VerificationResult(
-                query=f"equivalence({p.name} vs {p_prime.name})",
+            details: Dict[str, object] = {
+                "attempts": [],
+                "bisimulation": str(bis),
+                "decided_by": "bisim",
+            }
+            res = VerificationResult(
+                query=query.display(),
                 verdict="not-equivalent",
                 engine="bisim",
                 elapsed=time.perf_counter() - t0,
                 holds=False,
                 details=details,
             )
+            if cache is not None:
+                _cache_store(cache, query, res)
+            return res
 
-    used = engine
-    sym: Optional[SymbolicVerdict] = None
-    bnd: Optional[BoundedVerdict] = None
-    sym_rung: Optional[str] = None
-    bnd_scope: Optional[int] = None
-    if engine in ("mso", "auto"):
-        sym, sym_rung = _symbolic_ladder(
-            lambda solver, guard: check_conflict_mso(
-                p, p_prime, mapping, solver=solver, guard=guard
-            ),
-            engine,
-            det_budget,
-            mso_deadline_s,
-            node_ceiling,
-            attempts,
-            details,
-        )
-        if sym is not None:
-            _note_symbolic(details, sym)
-        if sym is not None and sym.status == "decided":
-            used = "mso"
-        elif engine == "mso":
-            used = "mso"
-        else:
-            used = "mso+bounded"
-    if engine == "bounded" or (engine == "auto" and used == "mso+bounded"):
-        bnd, bnd_scope = _bounded_ladder(
-            lambda scope, guard: check_conflict_bounded(
-                p, p_prime, mapping, max_internal=scope, guard=guard
-            ),
-            max_internal,
-            bounded_deadline_s,
-            attempts,
-        )
-        if bnd is not None:
-            details["bounded"] = str(bnd)
-        if engine == "bounded":
-            used = "bounded"
-
-    found, witness_tree, witness = _merge_race(sym, bnd)
-    verdict = "not-equivalent" if found else "equivalent"
-    sym_decided = sym is not None and sym.status == "decided"
-    if not sym_decided and bnd is None:
+    outcome = PlanExecutor(cache=cache).execute(query, plan)
+    if check_bisim:
+        outcome.details["bisimulation"] = str(bis)
+    verdict = "not-equivalent" if outcome.found else "equivalent"
+    if outcome.undecided:
         verdict = "unknown"
-    details["decided_by"] = (
-        None
-        if verdict == "unknown"
-        else (sym_rung if sym_decided else f"bounded@{bnd_scope}")
-    )
     rep = None
-    if replay and found and witness_tree is not None:
-        fields = sorted(set(_program_fields(p)) | set(_program_fields(p_prime)))
-        rep = replay_conflict(p, p_prime, witness_tree, fields)
-    return VerificationResult(
-        query=f"equivalence({p.name} vs {p_prime.name})",
+    if replay and outcome.found and outcome.witness_tree is not None:
+        rep = replay_conflict(
+            p, p_prime, outcome.witness_tree, query.fields()
+        )
+    res = VerificationResult(
+        query=query.display(),
         verdict=verdict,
-        engine=used,
+        engine=outcome.engine_label,
         elapsed=time.perf_counter() - t0,
-        holds=not found and verdict != "unknown",
-        witness=witness,
-        witness_tree=witness_tree,
+        holds=not outcome.found and verdict != "unknown",
+        witness=outcome.witness,
+        witness_tree=outcome.witness_tree,
         replay=rep,
-        details=details,
+        details=outcome.details,
     )
+    if cache is not None:
+        _cache_store(cache, query, res)
+    return res

@@ -1,0 +1,80 @@
+"""One seam for queries, engines, limits, and results (DESIGN.md §10).
+
+The paper's pipeline is answered by three backends — the interpreter,
+the bounded checker, and the MSO/automata engine.  This package makes
+their invocation first-class data so every consumer (``core.api``, the
+service worker, the conformance oracle, the CLI, the batch driver)
+dispatches the same way:
+
+* :mod:`repro.engine.keys` — the one content-hash formula
+  (``sha256(canonical_json({kind, payload}))``) shared with
+  ``service.protocol.task_key``;
+* :mod:`repro.engine.query` — :class:`RaceQuery` /
+  :class:`EquivalenceQuery` + :class:`Limits`: the question as data,
+  hashed without its limits;
+* :mod:`repro.engine.engines` — the :class:`Engine` protocol with
+  declared :class:`Capabilities`, the three built-ins, and the
+  name registry;
+* :mod:`repro.engine.plan` — the degradation ladder as a declarative
+  :class:`Plan` interpreted by one :class:`PlanExecutor` producing the
+  historical ``details["attempts"]`` schema;
+* :mod:`repro.engine.cache` — a content-addressed verdict cache whose
+  reuse rules read the deciding engine's capabilities.
+"""
+
+from .cache import CacheStats, ResultCache
+from .engines import (
+    BoundedEngine,
+    Capabilities,
+    Engine,
+    EngineVerdict,
+    InterpEngine,
+    SymbolicEngine,
+    get_engine,
+    known_engines,
+    register_engine,
+)
+from .keys import canonical_json, content_key
+from .plan import (
+    LADDER_ESCALATION,
+    Plan,
+    PlanExecutor,
+    PlanOutcome,
+    Rung,
+    degraded,
+    degraded_spec,
+    known_specs,
+    normalized_attempts,
+    plan_for,
+)
+from .query import EquivalenceQuery, Limits, RaceQuery, program_fields
+
+__all__ = [
+    "canonical_json",
+    "content_key",
+    "Limits",
+    "RaceQuery",
+    "EquivalenceQuery",
+    "program_fields",
+    "Capabilities",
+    "Engine",
+    "EngineVerdict",
+    "SymbolicEngine",
+    "BoundedEngine",
+    "InterpEngine",
+    "register_engine",
+    "get_engine",
+    "known_engines",
+    "Rung",
+    "Plan",
+    "plan_for",
+    "known_specs",
+    "degraded",
+    "degraded_spec",
+    "LADDER_ESCALATION",
+    "PlanExecutor",
+    "PlanOutcome",
+    "normalized_attempts",
+    "CacheStats",
+    "ResultCache",
+]

@@ -1,0 +1,155 @@
+"""Content-addressed result cache with soundness-aware reuse.
+
+Records are keyed by :meth:`query.key` — the hash of *what* is asked,
+never of the limits — and stored in memory plus (optionally) on disk
+through :class:`repro.service.store.ResultStore`, so cached verdicts
+get the same checksummed, atomically-written, quarantine-on-corruption
+treatment as batch results, and a batch run directory doubles as a
+warm cache across runs.
+
+Reuse is governed by the deciding engine's declared
+:class:`~repro.engine.engines.Capabilities`, not by the verdict alone:
+
+* ``"unknown"`` is never reusable (and never stored) — a bigger budget
+  might decide it;
+* a **counterexample** (``race`` / ``not-equivalent``) is reusable iff
+  the deciding engine is *sound* for the query kind — the evidence
+  stands regardless of scope or budget;
+* a **clean** verdict (``race-free`` / ``equivalent``) is reusable iff
+  the deciding engine is *complete* for what the query asks: over all
+  trees, or exhaustive on the same scope (the scope is part of the
+  key, and re-checked here as belt and braces).  A sampled engine's
+  clean verdict is never reused;
+* the deciding engine must be one the current plan would run — a
+  bounded verdict must not satisfy an ``engine="mso"`` caller;
+* a ``bisim`` verdict (the equivalence fast path) counts as sound and
+  complete, but is only reused when the caller still enables the
+  bisimulation gate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .engines import get_engine
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: Verdicts that carry a counterexample (sound-direction evidence).
+_FOUND_VERDICTS = frozenset({"race", "not-equivalent"})
+
+
+@dataclass
+class CacheStats:
+    """Observable cache counters (mirrored into ``SolverStats`` and the
+    batch ``report.json``)."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+        }
+
+
+class ResultCache:
+    """In-memory + optional on-disk verdict cache keyed by query hash."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        self._store = None
+        if path is not None:
+            from ..service.store import ResultStore
+
+            self._store = ResultStore(Path(path))
+
+    # -- reuse policy ----------------------------------------------------
+
+    @staticmethod
+    def _reusable(record: Dict[str, Any], query, plan,
+                  allow_bisim: bool) -> bool:
+        verdict = record.get("verdict")
+        decided_engine = record.get("decided_engine")
+        if verdict in (None, "unknown") or decided_engine is None:
+            return False
+        if record.get("kind") != query.kind:
+            return False
+        if decided_engine == "bisim":
+            return allow_bisim and query.kind == "equiv"
+        if decided_engine not in plan.engine_names():
+            return False
+        try:
+            caps = get_engine(decided_engine).capabilities
+        except ValueError:
+            return False
+        if verdict in _FOUND_VERDICTS:
+            return query.kind in caps.sound_for
+        if caps.complete_for == "all-trees":
+            return True
+        if caps.complete_for == "scope":
+            return record.get("scope") == query.scope
+        return False
+
+    # -- lookup / store --------------------------------------------------
+
+    def lookup(self, query, plan,
+               allow_bisim: bool = True) -> Optional[Dict[str, Any]]:
+        """The reusable cache record for ``query`` under ``plan``, or
+        ``None`` (counted as a miss)."""
+        key = query.key()
+        with self._lock:
+            record = self._memory.get(key)
+        if record is None and self._store is not None:
+            record = self._store.get(key)
+            if record is not None:
+                with self._lock:
+                    self._memory[key] = record
+        if record is not None and self._reusable(
+            record, query, plan, allow_bisim
+        ):
+            with self._lock:
+                self.stats.hits += 1
+            return record
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def store(
+        self,
+        query,
+        verdict: str,
+        holds: bool,
+        decided_by: Optional[str],
+        decided_engine: Optional[str],
+        result: Dict[str, Any],
+    ) -> bool:
+        """Store one decided verdict; refuses ``unknown`` (a bigger
+        budget might decide it, so it must always be recomputed)."""
+        if verdict == "unknown" or decided_engine is None:
+            return False
+        key = query.key()
+        record = {
+            "key": key,
+            "kind": query.kind,
+            "scope": query.scope,
+            "verdict": verdict,
+            "holds": bool(holds),
+            "decided_by": decided_by,
+            "decided_engine": decided_engine,
+            "result": result,
+        }
+        with self._lock:
+            self._memory[key] = record
+            self.stats.stored += 1
+        if self._store is not None:
+            self._store.put(key, record)
+        return True

@@ -148,6 +148,64 @@ def load_manifest(path: Path) -> List[Task]:
 
 
 # ----------------------------------------------------------------------
+# Result-cache plumbing
+
+
+def _query_for_task(task: Task):
+    """The Query-IR object behind a ``check-*`` task, or ``None``.
+
+    Any parse/validation/mapping problem makes the task uncacheable (it
+    is simply dispatched to a worker, which reports the real error);
+    the cache must never turn a malformed task into a crash here.
+    """
+    if task.kind not in ("check-race", "check-fusion"):
+        return None
+    from ..engine import EquivalenceQuery, RaceQuery
+    from ..lang.parser import parse_program
+    from ..lang.validate import validate
+
+    payload = task.payload
+    opts = payload.get("options") or {}
+    scope = opts.get("max_internal", 4)
+    entry = payload.get("entry", "Main")
+    try:
+        if task.kind == "check-race":
+            p = parse_program(
+                payload["source"], name=payload.get("name", "program"),
+                entry=entry,
+            )
+            validate(p)
+            return RaceQuery(program=p, scope=scope)
+        p = parse_program(
+            payload["source"], name=payload.get("name", "original"),
+            entry=entry,
+        )
+        q = parse_program(
+            payload["source2"], name=payload.get("name2", "fused"),
+            entry=entry,
+        )
+        validate(p)
+        validate(q)
+        if payload.get("mapping") is not None:
+            mapping = {k: set(v) for k, v in payload["mapping"].items()}
+        else:
+            from ..core.transform import correspondence_by_key
+
+            overrides = {
+                k: set(v)
+                for k, v in (payload.get("map_overrides") or {}).items()
+            }
+            mapping = correspondence_by_key(
+                p, q, overrides=overrides, strict=True
+            )
+        return EquivalenceQuery(
+            program=p, program2=q, mapping=mapping, scope=scope
+        )
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
 # Verdict extraction
 
 
@@ -194,6 +252,8 @@ class BatchReport:
     results: List[Dict[str, Any]] = field(default_factory=list)
     journal_skipped_lines: int = 0
     quarantined: int = 0
+    cache_hits: int = 0
+    cache: Dict[str, int] = field(default_factory=dict)
     elapsed: float = 0.0
 
     @property
@@ -230,6 +290,11 @@ class BatchReport:
             lines.append(
                 f"  {self.quarantined} corrupt store record(s) quarantined "
                 "and recomputed"
+            )
+        if self.cache_hits:
+            lines.append(
+                f"  {self.cache_hits} verdict(s) reused from the result "
+                "cache"
             )
         return "\n".join(lines)
 
@@ -328,8 +393,32 @@ def run_batch(
         f"{len(pending)} to run (isolation={isolation}, jobs={jobs})"
     )
 
+    # Content-addressed verdict cache: keyed by *query* hash (what is
+    # asked), unlike the run's result store, which is keyed by task
+    # hash.  Persisted inside the run directory so a rerun over the same
+    # directory — and any other run pointed at it — reuses decided
+    # verdicts whose deciding engine's capabilities allow it.
+    from ..core.api import _decided_engine
+    from ..engine import ResultCache, plan_for
+
+    cache = ResultCache(run_dir / "cache")
+    queries: Dict[str, tuple] = {}
+    for t in pending:
+        query = _query_for_task(t)
+        if query is None:
+            continue
+        opts = t.payload.get("options") or {}
+        try:
+            plan = plan_for(opts.get("engine", "auto"))
+        except ValueError:
+            continue
+        queries[task_key(t)] = (
+            query, plan, bool(opts.get("check_bisim", True))
+        )
+
     supervisor = Supervisor(policy=policy, isolation=isolation)
     computed: Dict[str, SupervisedResult] = {}
+    cached: Dict[str, SupervisedResult] = {}
 
     def on_result(res: SupervisedResult) -> None:
         if res.ok:
@@ -341,6 +430,22 @@ def run_batch(
                 "verdict": _task_verdict(res)["verdict"],
                 "attempts": len(res.attempts),
             })
+            info = queries.get(res.key)
+            if info is not None and res.key not in cached:
+                query, _plan, _allow = info
+                value = res.final.value or {}
+                details = value.get("details") or {}
+                decided_by = details.get("decided_by")
+                cache.store(
+                    query,
+                    value.get("verdict", "unknown"),
+                    bool(value.get("holds")),
+                    decided_by,
+                    _decided_engine(
+                        decided_by, details.get("attempts") or []
+                    ),
+                    value,
+                )
         else:
             journal.append({
                 "event": "failed",
@@ -355,12 +460,33 @@ def run_batch(
             + (_task_verdict(res)["verdict"] if res.ok
                else f"FAILED ({res.final.describe()})"))
 
+    for t in pending:
+        key = task_key(t)
+        info = queries.get(key)
+        if info is None:
+            continue
+        query, plan, allow_bisim = info
+        record = cache.lookup(query, plan, allow_bisim=allow_bisim)
+        if record is None:
+            continue
+        res = SupervisedResult(
+            task=t,
+            key=key,
+            final=WorkerOutcome(status="ok", value=record["result"]),
+            attempts=[],
+        )
+        cached[key] = res
+        on_result(res)
+    pending = [t for t in pending if task_key(t) not in cached]
+
     supervisor.map(pending, jobs=jobs, on_result=on_result)
 
     report = BatchReport(run_dir=run_dir)
     report.total = len(tasks)
     report.resumed = len(done)
-    report.ran = len(computed)
+    report.ran = len(computed) - len(cached)
+    report.cache_hits = len(cached)
+    report.cache = cache.stats.as_dict()
     report.breaker_open = supervisor.breaker.open
     report.journal_skipped_lines = replayed.skipped_lines
     report.quarantined = len(store.quarantined)
@@ -403,6 +529,8 @@ def run_batch(
                 "breaker_open": report.breaker_open,
                 "journal_skipped_lines": report.journal_skipped_lines,
                 "quarantined": report.quarantined,
+                "cache_hits": report.cache_hits,
+                "cache": report.cache,
                 "elapsed": round(report.elapsed, 3),
                 "tasks": attempts_out,
             },

@@ -31,11 +31,12 @@ still reuse every verdict that already succeeded.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import struct
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
+
+from ..engine.keys import canonical_json, content_key
 
 __all__ = [
     "FrameError",
@@ -119,15 +120,15 @@ class Task:
         )
 
 
-def canonical_json(obj: Any) -> str:
-    """Deterministic JSON rendering (sorted keys, no whitespace)."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
-
-
 def task_key(task: Task) -> str:
-    """Content-hash identity of a task: what is solved, not how hard."""
-    raw = canonical_json({"kind": task.kind, "payload": task.payload})
-    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+    """Content-hash identity of a task: what is solved, not how hard.
+
+    Delegates to :func:`repro.engine.keys.content_key` — the same
+    formula behind :meth:`repro.engine.query.RaceQuery.key` — so a
+    query hashed in-process, a batch-store entry, and a fuzz-dedup key
+    all agree byte-for-byte.
+    """
+    return content_key(task.kind, task.payload)
 
 
 # ----------------------------------------------------------------------

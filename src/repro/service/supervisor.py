@@ -95,8 +95,13 @@ class CircuitBreaker:
 
 def _task_is_symbolic(task: Task) -> bool:
     if task.kind in ("check-race", "check-fusion"):
-        opts = task.payload.get("options") or {}
-        return opts.get("engine", "auto") != "bounded"
+        from ..engine.plan import plan_for
+
+        spec = (task.payload.get("options") or {}).get("engine", "auto")
+        try:
+            return bool(plan_for(spec).symbolic_rungs())
+        except ValueError:
+            return True  # unknown spec: assume the worst for the breaker
     if task.kind == "fuzz-case":
         oracle = task.payload.get("oracle") or {}
         return bool(oracle.get("run_symbolic", True))
@@ -104,11 +109,22 @@ def _task_is_symbolic(task: Task) -> bool:
 
 
 def _degrade_task(task: Task) -> Task:
-    """The bounded-only rendering of a task (circuit breaker open)."""
+    """The symbolic-free rendering of a task (circuit breaker open).
+
+    For ``check-*`` tasks this is the plan transformation
+    :func:`repro.engine.plan.degraded_spec` — drop every symbolic rung,
+    keep the scope rungs; the fuzz oracle has its own flag.
+    """
     payload = dict(task.payload)
     if task.kind in ("check-race", "check-fusion"):
+        from ..engine.plan import degraded_spec
+
         payload["options"] = dict(payload.get("options") or {})
-        payload["options"]["engine"] = "bounded"
+        spec = payload["options"].get("engine", "auto")
+        try:
+            payload["options"]["engine"] = degraded_spec(spec)
+        except ValueError:
+            payload["options"]["engine"] = "bounded"
     elif task.kind == "fuzz-case":
         payload["oracle"] = dict(payload.get("oracle") or {})
         payload["oracle"]["run_symbolic"] = False

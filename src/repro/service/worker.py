@@ -265,27 +265,9 @@ def _options(payload: Dict[str, Any], allowed) -> Dict[str, Any]:
 
 
 def _verification_to_dict(res) -> Dict[str, Any]:
-    from ..trees.heap import tree_to_tuple
+    from ..core.api import verification_to_dict
 
-    return {
-        "query": res.query,
-        "verdict": res.verdict,
-        "engine": res.engine,
-        "elapsed": res.elapsed,
-        "holds": res.holds,
-        "witness": str(res.witness) if res.witness is not None else None,
-        "witness_tree": (
-            tree_to_tuple(res.witness_tree)
-            if res.witness_tree is not None
-            else None
-        ),
-        "replay": (
-            {"confirmed": res.replay.confirmed, "detail": res.replay.detail}
-            if res.replay is not None
-            else None
-        ),
-        "details": jsonable(res.details),
-    }
+    return verification_to_dict(res)
 
 
 def _run_check_race(payload: Dict[str, Any], set_phase) -> Dict[str, Any]:
@@ -648,19 +630,11 @@ def task_for_case(case, cfg=None, limits: Optional[Limits] = None) -> Task:
 
 
 def _worker_attempt_record(task: Task, attempt: Dict[str, Any]) -> Dict[str, Any]:
-    """A supervisor attempt rendered in the ladder's attempts format."""
-    rec = {
-        "rung": f"worker#{attempt['attempt']}",
-        "engine": "process",
-        "limits": task.limits.to_dict(),
-        "outcome": attempt["outcome"],
-        "elapsed": attempt["elapsed"],
-        "found": None,
-    }
-    for k in ("signal", "phase", "detail", "degraded"):
-        if attempt.get(k) not in (None, False):
-            rec[k] = attempt[k]
-    return rec
+    """A supervisor attempt rendered in the plan executor's attempts
+    format (the shared schema lives in :mod:`repro.engine.plan`)."""
+    from ..engine.plan import worker_attempt_record
+
+    return worker_attempt_record(task.limits.to_dict(), attempt)
 
 
 def verification_from_supervised(supervised) -> "VerificationResult":
@@ -672,9 +646,7 @@ def verification_from_supervised(supervised) -> "VerificationResult":
     never a silent wrong answer — and every failed worker attempt
     appears in ``details["attempts"]`` with its outcome class.
     """
-    from ..core.api import VerificationResult
-    from ..core.witness import ReplayOutcome
-    from ..trees.heap import tree_from_tuple
+    from ..core.api import VerificationResult, verification_from_dict
 
     task = supervised.task
     final = supervised.final
@@ -693,36 +665,16 @@ def verification_from_supervised(supervised) -> "VerificationResult":
 
     if final.status == "ok":
         value = final.value or {}
-        details = dict(value.get("details") or {})
-        details["attempts"] = failed_attempts + list(
-            details.get("attempts") or []
+        res = verification_from_dict(
+            value, default_query=query, elapsed=final.elapsed
         )
-        details["isolation"] = "process"
+        res.details["attempts"] = failed_attempts + list(
+            res.details.get("attempts") or []
+        )
+        res.details["isolation"] = "process"
         if supervised.degraded:
-            details["circuit_breaker"] = "open"
-        replay_data = value.get("replay")
-        return VerificationResult(
-            query=value.get("query", query),
-            verdict=value["verdict"],
-            engine=value.get("engine", "process"),
-            elapsed=final.elapsed,
-            holds=bool(value["holds"]),
-            witness=value.get("witness"),
-            witness_tree=(
-                tree_from_tuple(value["witness_tree"])
-                if value.get("witness_tree") is not None
-                else None
-            ),
-            replay=(
-                ReplayOutcome(
-                    confirmed=bool(replay_data["confirmed"]),
-                    detail=replay_data["detail"],
-                )
-                if replay_data
-                else None
-            ),
-            details=details,
-        )
+            res.details["circuit_breaker"] = "open"
+        return res
     details = {
         "attempts": failed_attempts,
         "decided_by": None,

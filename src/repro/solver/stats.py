@@ -35,6 +35,11 @@ class SolverStats:
     # Cross-query caching.
     conj_cache_hits: int = 0
     conj_cache_misses: int = 0
+    # Content-addressed result cache (repro.engine.cache) counters at
+    # solve time — zero unless a cache is attached to the plan executor.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stored: int = 0
 
     @contextmanager
     def phase(self, name: str):
@@ -45,6 +50,13 @@ class SolverStats:
         finally:
             dt = time.perf_counter() - t0
             setattr(self, f"{name}_s", getattr(self, f"{name}_s") + dt)
+
+    def note_cache(self, cache_stats) -> None:
+        """Mirror a result-cache's counters (an object with
+        ``hits``/``misses``/``stored``) into this snapshot."""
+        self.cache_hits = cache_stats.hits
+        self.cache_misses = cache_stats.misses
+        self.cache_stored = cache_stats.stored
 
     def note_exploration(self, reached: int) -> None:
         self.queries += 1
@@ -65,6 +77,11 @@ class SolverStats:
             "total_reached": self.total_reached,
             "conj_cache_hits": self.conj_cache_hits,
             "conj_cache_misses": self.conj_cache_misses,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "stored": self.cache_stored,
+            },
         }
         if manager is not None:
             for k, v in manager.cache_stats().items():

@@ -1,0 +1,49 @@
+"""Refactor-safety goldens: the attempts/decided_by schema is pinned.
+
+``tests/golden/attempts_schema.json`` was generated against the
+hard-coded ladder in ``core.api`` *before* the plan-executor refactor
+(``scripts/gen_attempts_golden.py``); these tests re-run the same
+queries through the current code and require the normalized schema —
+every attempt field except wall-clock ``elapsed`` — to be byte-identical.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[1]
+_GOLDEN = _ROOT / "tests" / "golden" / "attempts_schema.json"
+
+
+def _gen_module():
+    spec = importlib.util.spec_from_file_location(
+        "gen_attempts_golden", _ROOT / "scripts" / "gen_attempts_golden.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+_GEN = _gen_module()
+_QUERIES = _GEN.golden_queries()
+
+
+@pytest.mark.parametrize("name", sorted(_QUERIES))
+def test_attempts_schema_is_byte_identical(name):
+    golden = json.loads(_GOLDEN.read_text(encoding="utf-8"))
+    assert name in golden, (
+        f"no golden for {name}; run scripts/gen_attempts_golden.py"
+    )
+    snap = _GEN.snapshot(_QUERIES[name]())
+    assert snap == golden[name], (
+        f"attempts schema drifted for {name}:\n"
+        f"golden: {json.dumps(golden[name], indent=1, sort_keys=True)}\n"
+        f"now   : {json.dumps(snap, indent=1, sort_keys=True)}"
+    )
+
+
+def test_golden_file_covers_every_query():
+    golden = json.loads(_GOLDEN.read_text(encoding="utf-8"))
+    assert sorted(golden) == sorted(_QUERIES)

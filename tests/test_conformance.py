@@ -110,11 +110,16 @@ def test_oracle_skips_symbolic_when_disabled():
 
 
 def _stub_symbolic(monkeypatch, **attrs):
+    # The oracle dispatches through the engine registry, whose symbolic
+    # engine resolves check_data_race_mso lazily — patch it at the
+    # source module.
+    import repro.core.symbolic as symbolic_mod
+
     base = {"status": "decided", "found": False, "witness": None}
     base.update(attrs)
     verdict = SimpleNamespace(**base)
     monkeypatch.setattr(
-        oracle_mod, "check_data_race_mso",
+        symbolic_mod, "check_data_race_mso",
         lambda program, solver=None, guard=None: verdict,
     )
     return verdict

@@ -456,7 +456,10 @@ def test_batch_resume_after_torn_journal(tmp_path):
     (run_b / "results.json").unlink()
 
     report = run_batch(m, run_b, resume=True)
-    assert report.resumed == 1 and report.ran == 1
+    # The missing task is recomputed — served from the run directory's
+    # content-addressed verdict cache, which survived the torn journal.
+    assert report.resumed == 1
+    assert report.ran + report.cache_hits == 1
     assert report.journal_skipped_lines == 1
     assert (run_b / "results.json").read_bytes() == golden
 
@@ -469,7 +472,8 @@ def test_batch_corrupt_store_record_recomputed(tmp_path):
     victim = next((run / "store").glob("*.json"))
     victim.write_text(victim.read_text().replace("race", "rice", 1))
     report = run_batch(m, run, resume=True)
-    assert report.quarantined == 1 and report.ran == 1
+    assert report.quarantined == 1
+    assert report.ran + report.cache_hits == 1
     assert (run / "results.json").read_bytes() == golden
 
 
