@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Daemon throughput benchmark — cold vs. warm shared cache.
+
+Boots a real ``repro serve`` daemon on a fresh run directory, pushes a
+batch of distinct bounded race queries through the Unix socket twice —
+once cold (every query solved) and once warm (every query answered from
+the shared sqlite cache tier) — and reports queries/sec with p50/p95
+per-request latency for each pass.  The warm/cold ratio is the headline
+number: it is what the long-lived daemon buys over re-spawning `repro
+batch` per workload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_bench.py [--queries 24]
+        [--jobs 2] [--json BENCH_service.json]
+
+Writes the JSON artifact (schema: ``{"config", "cold", "warm",
+"speedup_warm_over_cold"}``, each pass carrying ``{"qps", "p50_ms",
+"p95_ms", "total_s", "solved", "cache_hits"}``) when ``--json`` is
+given; this seeds the bench trajectory (ROADMAP item 3).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import DaemonClient  # noqa: E402
+from repro.service.worker import task_for_race  # noqa: E402
+
+RACEFREE = """
+F(n) { if (n == nil) { return 0 } else { a = F(n.l); b = F(n.r); return a + b + n.v } }
+Main(n) { { x = F(n.l) || y = F(n.r) }; return x + y }
+"""
+
+BOUNDED = {"engine": "bounded", "max_internal": 2}
+
+
+def make_tasks(n):
+    """``n`` race queries with distinct content keys."""
+    tasks = []
+    for i in range(n):
+        src = RACEFREE.replace("a + b + n.v", f"a + b + n.v + {i}")
+        tasks.append(task_for_race(src, options=BOUNDED, name=f"q{i}"))
+    return tasks
+
+
+def percentile(samples, q):
+    return statistics.quantiles(samples, n=100)[q - 1] if len(samples) > 1 else samples[0]
+
+
+def run_pass(client, tasks):
+    latencies = []
+    hits = 0
+    t0 = time.perf_counter()
+    for task in tasks:
+        s = time.perf_counter()
+        reply = client.submit_task(task, max_wait_s=120.0)
+        latencies.append(time.perf_counter() - s)
+        if reply.get("cached"):
+            hits += 1
+        verdict = reply["value"]["verdict"]
+        if verdict != "race-free":
+            raise SystemExit(f"unexpected verdict {verdict!r} for {task.name}")
+    total = time.perf_counter() - t0
+    return {
+        "qps": round(len(tasks) / total, 2),
+        "p50_ms": round(percentile(latencies, 50) * 1000, 2),
+        "p95_ms": round(percentile(latencies, 95) * 1000, 2),
+        "total_s": round(total, 3),
+        "solved": len(tasks) - hits,
+        "cache_hits": hits,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--queries", type=int, default=24)
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument("--json", default=None, help="write BENCH_service.json here")
+    args = ap.parse_args()
+
+    run_dir = Path(tempfile.mkdtemp(prefix="service-bench-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULT", None)
+    env.pop("REPRO_FAULT_ONCE", None)
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(run_dir),
+         "--jobs", str(args.jobs), "--isolation", "inline", "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    socket_path = run_dir / "daemon.sock"
+    deadline = time.monotonic() + 30.0
+    while not socket_path.exists():
+        if daemon.poll() is not None or time.monotonic() > deadline:
+            raise SystemExit("daemon failed to start")
+        time.sleep(0.02)
+
+    tasks = make_tasks(args.queries)
+    try:
+        with DaemonClient(socket_path, client_id="bench", timeout_s=300.0) as c:
+            cold = run_pass(c, tasks)
+            warm = run_pass(c, tasks)
+            c.shutdown()
+        daemon.wait(timeout=60)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+    if warm["cache_hits"] != len(tasks):
+        raise SystemExit(
+            f"warm pass expected {len(tasks)} cache hits, got {warm['cache_hits']}"
+        )
+
+    out = {
+        "bench": "service-daemon-throughput",
+        "config": {
+            "queries": args.queries,
+            "jobs": args.jobs,
+            "engine": "bounded",
+            "max_internal": BOUNDED["max_internal"],
+            "isolation": "inline",
+        },
+        "cold": cold,
+        "warm": warm,
+        "speedup_warm_over_cold": round(warm["qps"] / cold["qps"], 2),
+    }
+    print(json.dumps(out, indent=2))
+    if args.json:
+        Path(args.json).write_text(json.dumps(out, indent=2) + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,13 @@ Commands:
 * ``batch MANIFEST`` — a durable, resumable batch of solves over a
   supervised pool of crash-isolated worker processes (DESIGN.md §9);
   ``--resume RUN_DIR`` continues a run killed mid-way, recomputing only
-  verdicts that never reached the journal.
+  verdicts that never reached the journal;
+* ``serve RUN_DIR`` — the long-lived multi-tenant solve daemon
+  (DESIGN.md §11): admission control, per-client quotas, weighted fair
+  scheduling, and a shared crash-safe sqlite cache tier;
+  ``--status`` / ``--stop`` talk to a running daemon;
+* ``client FILE [--fused FILE2]`` — submit one query to a running
+  daemon and report like ``check-race`` / ``check-fusion``.
 
 Exit codes are uniform across every subcommand:
 
@@ -26,8 +32,11 @@ code  meaning
 0     the property holds / no mismatch / batch clean
 1     a violation was found (race, non-equivalence, mismatch)
 2     usage or environment error (bad flags, unreadable or
-      unparseable input, broken manifest, worker failure)
+      unparseable input, broken manifest, worker failure,
+      unreachable daemon)
 3     undecided: every engine rung exhausted its limits
+4     daemon overloaded (queue full / quota / shed /
+      draining); stderr carries a retry-after hint
 130   interrupted (SIGINT); partial batch journals survive
 ====  =====================================================
 
@@ -57,6 +66,7 @@ EXIT_OK = 0
 EXIT_VIOLATION = 1
 EXIT_ERROR = 2
 EXIT_UNKNOWN = 3
+EXIT_OVERLOADED = 4
 EXIT_INTERRUPTED = 130
 
 
@@ -86,11 +96,23 @@ def main(argv=None) -> int:
     one-line message instead of a traceback; SIGINT exits 130 after
     noting that any partial batch journal survives.
     """
+    from .service.scheduler import ServiceOverloaded
+
     try:
         return _dispatch(argv)
     except KeyboardInterrupt:
         print("interrupted (partial journal preserved)", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except ServiceOverloaded as e:
+        # Typed admission rejection from the daemon: distinct exit code
+        # so callers can back off and retry instead of treating it as a
+        # hard error.
+        print(
+            f"overloaded: {e} (reason: {e.reason}, retry after "
+            f"{e.retry_after_s:.2f}s)",
+            file=sys.stderr,
+        )
+        return EXIT_OVERLOADED
     except (ReproError, SyntaxError, ValueError, OSError) as e:
         # Covers ParseError/LexError (SyntaxError), ValidationError and
         # manifest/JSON errors (ValueError), missing files (OSError).
@@ -242,6 +264,87 @@ def _dispatch(argv=None) -> int:
     p_batch.add_argument("--quiet", action="store_true",
                          help="suppress per-task progress lines")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived multi-tenant solve daemon with admission "
+             "control, quotas, and a shared crash-safe cache tier "
+             "(DESIGN.md §11)",
+    )
+    p_serve.add_argument("run_dir", help="daemon run directory "
+                         "(journal, shared cache, socket, lock)")
+    p_serve.add_argument("--socket", metavar="PATH", default=None,
+                         help="Unix socket path "
+                              "(default: RUN_DIR/daemon.sock)")
+    p_serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="concurrent solves (default 2)")
+    p_serve.add_argument(
+        "--isolation", default="process", choices=["inline", "process"],
+        help="process (default): one sandboxed child per solve; "
+             "inline: solve in the daemon process (no crash isolation)",
+    )
+    p_serve.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="retry budget per task for crashed "
+                              "workers (default 2)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         metavar="N",
+                         help="admission queue bound; beyond it the "
+                              "daemon sheds or rejects (default 64)")
+    p_serve.add_argument("--client-rate", type=float, default=None,
+                         metavar="R",
+                         help="per-client quota: R tokens/second "
+                              "(default: no quota)")
+    p_serve.add_argument("--client-burst", type=float, default=8.0,
+                         metavar="B",
+                         help="per-client quota burst capacity "
+                              "(default 8)")
+    p_serve.add_argument("--weight", action="append", metavar="CLIENT=W",
+                         help="fair-share weight for a client id "
+                              "(repeatable; default weight 1)")
+    p_serve.add_argument("--warm-corpus", metavar="DIR", default=None,
+                         help="pre-solve a conformance corpus into the "
+                              "shared cache on startup")
+    p_serve.add_argument("--status", action="store_true",
+                         help="print a running daemon's status as JSON "
+                              "and exit")
+    p_serve.add_argument("--stop", action="store_true",
+                         help="ask a running daemon to drain and exit 0")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress daemon progress lines")
+
+    p_client = sub.add_parser(
+        "client",
+        help="submit one query to a running solve daemon",
+    )
+    p_client.add_argument("file", help="program to check")
+    p_client.add_argument("--fused", metavar="FILE2", default=None,
+                          help="check equivalence against FILE2 instead "
+                               "of data-race-freeness")
+    p_client.add_argument("--run-dir", metavar="DIR", default=None,
+                          help="daemon run directory (socket derived "
+                               "as DIR/daemon.sock)")
+    p_client.add_argument("--socket", metavar="PATH", default=None,
+                          help="daemon socket path (overrides --run-dir)")
+    p_client.add_argument("--client-id", default="cli", metavar="ID",
+                          help="client identity for quotas and fair "
+                               "scheduling (default: cli)")
+    p_client.add_argument("--priority", type=int, default=5,
+                          metavar="0-9",
+                          help="admission priority; lower is shed first "
+                               "(default 5)")
+    p_client.add_argument("--retry", type=int, default=0, metavar="N",
+                          help="on overload, honor the daemon's "
+                               "retry-after hint up to N times "
+                               "(default 0: fail fast with exit 4)")
+    p_client.add_argument("--engine", default="auto", metavar="SPEC",
+                          help="plan or engine name from the registry")
+    p_client.add_argument("--max-internal", type=int, default=None,
+                          metavar="N",
+                          help="bounded-engine scope")
+    p_client.add_argument(
+        "--map", action="append", metavar="sP=sQ[,sQ2]",
+        help="correspondence override (with --fused)",
+    )
+
     args = ap.parse_args(argv)
 
     def resource_kwargs():
@@ -270,8 +373,9 @@ def _dispatch(argv=None) -> int:
             print(f"  replay: {res.replay.detail}")
         if res.verdict == "unknown":
             for a in res.details.get("attempts", ()):
+                rung = a.get("rung", a.get("attempt", "?"))
                 print(
-                    f"  attempt {a['rung']}: {a['outcome']} "
+                    f"  attempt {rung}: {a['outcome']} "
                     f"({a['elapsed']:.3f}s)",
                     file=sys.stderr,
                 )
@@ -385,6 +489,82 @@ def _dispatch(argv=None) -> int:
         print(report_b.summary())
         print(f"results: {run_dir / 'results.json'}")
         return report_b.exit_code
+
+    if args.cmd == "serve":
+        import json as _json
+
+        from .service.client import DaemonClient
+        from .service.daemon import DaemonConfig
+        from .service.daemon import serve as serve_daemon
+
+        run_dir = Path(args.run_dir)
+        socket_path = (
+            Path(args.socket) if args.socket else run_dir / "daemon.sock"
+        )
+        if args.status or args.stop:
+            with DaemonClient(socket_path, client_id="cli") as client:
+                if args.status:
+                    print(_json.dumps(
+                        client.status(), indent=1, sort_keys=True
+                    ))
+                if args.stop:
+                    client.shutdown()
+                    print("daemon draining", file=sys.stderr)
+            return EXIT_OK
+        weights: Dict[str, float] = {}
+        for item in args.weight or ():
+            lhs, rhs = item.split("=", 1)
+            weights[lhs.strip()] = float(rhs)
+        say = (lambda _msg: None) if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        )
+        config = DaemonConfig(
+            socket_path=socket_path,
+            jobs=args.jobs,
+            isolation=args.isolation,
+            retries=args.retries,
+            queue_depth=args.queue_depth,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            weights=weights,
+            warm_corpus=(
+                Path(args.warm_corpus) if args.warm_corpus else None
+            ),
+        )
+        return serve_daemon(run_dir, config, log=say)
+
+    if args.cmd == "client":
+        from .core.api import _via_daemon
+
+        if args.socket:
+            socket_path = Path(args.socket)
+        elif args.run_dir:
+            socket_path = Path(args.run_dir) / "daemon.sock"
+        else:
+            ap.error("client needs --run-dir or --socket")
+        prog = _load(args.file, args.entry)
+        options: Dict[str, object] = {"engine": args.engine, "replay": True}
+        if args.max_internal is not None:
+            options["max_internal"] = args.max_internal
+        if args.fused is not None:
+            q = _load(args.fused, args.entry)
+            mapping = correspondence_by_key(
+                prog, q, overrides=_parse_map(args.map), strict=True
+            )
+            res = _via_daemon(
+                "check-fusion", (prog, q), options, socket_path,
+                mapping=mapping, client_id=args.client_id,
+                priority=args.priority, retries=args.retry,
+            )
+        else:
+            res = _via_daemon(
+                "check-race", (prog,), options, socket_path,
+                client_id=args.client_id, priority=args.priority,
+                retries=args.retry,
+            )
+        if res.details.get("daemon", {}).get("cached"):
+            print("(cached by daemon)", file=sys.stderr)
+        return report(res)
 
     return EXIT_ERROR  # pragma: no cover
 

@@ -259,25 +259,22 @@ def _cache_store(cache, query, res: VerificationResult) -> None:
 # Public entry points
 
 
-def _isolated(
+def _build_task(
     kind: str,
     programs: Sequence[A.Program],
     options: Dict[str, object],
     mapping: Optional[Mapping[str, Set[str]]] = None,
-) -> VerificationResult:
-    """Route a query through a sandboxed worker (DESIGN.md §9).
+):
+    """The serializable worker :class:`~repro.service.protocol.Task`
+    for a query (shared by process isolation and daemon dispatch).
 
     The program(s) are pretty-printed (:func:`repro.lang.printer.
-    program_source` round-trips through the parser), solved in a child
-    process under hard OS limits, and the child's JSON result is lifted
-    back into a :class:`VerificationResult`.  A child that dies without
-    answering — crash, rlimit, wall-clock kill, even after the
-    supervisor's retries — comes back as ``verdict="unknown"`` with the
-    crashed attempts in ``details["attempts"]``, never as an exception
-    and never as a silent wrong verdict.
+    program_source` round-trips through the parser) so the task is
+    plain data a child process — or a daemon on the far side of a
+    socket — can solve without sharing any state with this caller.
     """
     from ..lang.printer import program_source
-    from ..service import Limits, run_verification_isolated
+    from ..service import Limits
     from ..service.worker import task_for_fusion, task_for_race
 
     wall_s = options.pop("wall_s", None)
@@ -287,25 +284,104 @@ def _isolated(
     options = {k: v for k, v in options.items() if v is not None or k in (
         "mso_deadline_s", "bounded_deadline_s", "node_ceiling")}
     if kind == "check-race":
-        task = task_for_race(
+        return task_for_race(
             source=program_source(programs[0]),
             entry=programs[0].entry,
             options=options,
             limits=limits,
             name=programs[0].name,
+        )
+    return task_for_fusion(
+        source=program_source(programs[0]),
+        source2=program_source(programs[1]),
+        entry=programs[0].entry,
+        options=options,
+        mapping={k: sorted(v) for k, v in (mapping or {}).items()},
+        limits=limits,
+        name=programs[0].name,
+        name2=programs[1].name,
+    )
+
+
+def _isolated(
+    kind: str,
+    programs: Sequence[A.Program],
+    options: Dict[str, object],
+    mapping: Optional[Mapping[str, Set[str]]] = None,
+) -> VerificationResult:
+    """Route a query through a sandboxed worker (DESIGN.md §9).
+
+    The query is solved in a child process under hard OS limits and the
+    child's JSON result is lifted back into a
+    :class:`VerificationResult`.  A child that dies without answering —
+    crash, rlimit, wall-clock kill, even after the supervisor's retries
+    — comes back as ``verdict="unknown"`` with the crashed attempts in
+    ``details["attempts"]``, never as an exception and never as a
+    silent wrong verdict.
+    """
+    from ..service import run_verification_isolated
+
+    task = _build_task(kind, programs, options, mapping)
+    return run_verification_isolated(task)
+
+
+def _via_daemon(
+    kind: str,
+    programs: Sequence[A.Program],
+    options: Dict[str, object],
+    daemon_socket,
+    mapping: Optional[Mapping[str, Set[str]]] = None,
+    client_id: str = "api",
+    priority: Optional[int] = None,
+    retries: int = 0,
+) -> VerificationResult:
+    """Route a query through a running solve daemon (DESIGN.md §11).
+
+    The daemon owns the supervisor pool and the shared cache tier, so
+    concurrent callers across processes share verdicts, admission
+    control, and crash isolation.  Admission rejections
+    (:class:`~repro.service.scheduler.ServiceOverloaded`) propagate to
+    the caller — by design, so backpressure is visible, not swallowed.
+    """
+    import time as _time
+
+    from ..service.client import DaemonClient
+    from ..service.scheduler import DEFAULT_PRIORITY
+
+    t0 = _time.perf_counter()
+    task = _build_task(kind, programs, options, mapping)
+    with DaemonClient(daemon_socket, client_id=client_id) as client:
+        reply = client.submit_task(
+            task,
+            priority=DEFAULT_PRIORITY if priority is None else priority,
+            retries=retries,
+        )
+    if not reply.get("ok"):
+        res = VerificationResult(
+            query=task.name,
+            verdict="unknown",
+            engine="daemon",
+            elapsed=_time.perf_counter() - t0,
+            holds=False,
+            details={
+                "attempts": reply.get("attempts") or [],
+                "decided_by": None,
+                "daemon_failure": reply.get("detail"),
+            },
         )
     else:
-        task = task_for_fusion(
-            source=program_source(programs[0]),
-            source2=program_source(programs[1]),
-            entry=programs[0].entry,
-            options=options,
-            mapping={k: sorted(v) for k, v in (mapping or {}).items()},
-            limits=limits,
-            name=programs[0].name,
-            name2=programs[1].name,
+        res = verification_from_dict(
+            reply["value"],
+            default_query=task.name,
+            default_engine="daemon",
+            elapsed=_time.perf_counter() - t0,
         )
-    return run_verification_isolated(task)
+    res.details["isolation"] = "daemon"
+    res.details["daemon"] = {
+        "cached": bool(reply.get("cached")),
+        "key": reply.get("key"),
+    }
+    return res
 
 
 def check_data_race(
@@ -322,13 +398,18 @@ def check_data_race(
     cpu_s: Optional[float] = None,
     mem_bytes: Optional[int] = None,
     cache=None,
+    daemon_socket=None,
 ) -> VerificationResult:
     """Is the program data-race-free (paper Thm 2)?
 
     ``isolation="process"`` runs the whole query in a sandboxed,
     supervised child process (``wall_s``/``cpu_s``/``mem_bytes`` become
-    hard OS limits on it); the default ``"inline"`` solves in-process.
-    ``cache=`` an optional :class:`~repro.engine.cache.ResultCache`.
+    hard OS limits on it); ``isolation="daemon"`` submits it to the
+    long-lived solve daemon at ``daemon_socket=`` (shared cache tier,
+    admission control — may raise
+    :class:`~repro.service.scheduler.ServiceOverloaded`); the default
+    ``"inline"`` solves in-process.  ``cache=`` an optional
+    :class:`~repro.engine.cache.ResultCache`.
     """
     validate(program)
     t0 = time.perf_counter()
@@ -347,23 +428,28 @@ def check_data_race(
         hit = _cache_lookup(cache, query, plan, t0)
         if hit is not None:
             return hit
-    if isolation == "process":
-        res = _isolated(
-            "check-race",
-            (program,),
-            {
-                "engine": engine,
-                "max_internal": max_internal,
-                "det_budget": det_budget,
-                "mso_deadline_s": mso_deadline_s,
-                "node_ceiling": node_ceiling,
-                "bounded_deadline_s": bounded_deadline_s,
-                "replay": replay,
-                "wall_s": wall_s,
-                "cpu_s": cpu_s,
-                "mem_bytes": mem_bytes,
-            },
-        )
+    if isolation in ("process", "daemon"):
+        opts = {
+            "engine": engine,
+            "max_internal": max_internal,
+            "det_budget": det_budget,
+            "mso_deadline_s": mso_deadline_s,
+            "node_ceiling": node_ceiling,
+            "bounded_deadline_s": bounded_deadline_s,
+            "replay": replay,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "mem_bytes": mem_bytes,
+        }
+        if isolation == "daemon":
+            if daemon_socket is None:
+                raise ValueError(
+                    "isolation='daemon' needs daemon_socket= "
+                    "(the socket of a running `repro serve`)"
+                )
+            res = _via_daemon("check-race", (program,), opts, daemon_socket)
+        else:
+            res = _isolated("check-race", (program,), opts)
         if cache is not None:
             _cache_store(cache, query, res)
         return res
@@ -412,15 +498,17 @@ def check_equivalence(
     cpu_s: Optional[float] = None,
     mem_bytes: Optional[int] = None,
     cache=None,
+    daemon_socket=None,
 ) -> VerificationResult:
     """Are the two programs equivalent under the block correspondence
     (paper Thm 3: bisimilar and conflict-free)?
 
     Precondition per the paper: both programs are data-race-free (footnote
     7); check separately with :func:`check_data_race`.
-    ``isolation="process"`` sandboxes the query as in
-    :func:`check_data_race`; ``cache=`` an optional
-    :class:`~repro.engine.cache.ResultCache`.
+    ``isolation="process"`` sandboxes the query and
+    ``isolation="daemon"`` (+ ``daemon_socket=``) submits it to a
+    running solve daemon, as in :func:`check_data_race`; ``cache=`` an
+    optional :class:`~repro.engine.cache.ResultCache`.
     """
     validate(p)
     validate(p_prime)
@@ -442,25 +530,32 @@ def check_equivalence(
         hit = _cache_lookup(cache, query, plan, t0, allow_bisim=check_bisim)
         if hit is not None:
             return hit
-    if isolation == "process":
-        res = _isolated(
-            "check-fusion",
-            (p, p_prime),
-            {
-                "engine": engine,
-                "max_internal": max_internal,
-                "det_budget": det_budget,
-                "mso_deadline_s": mso_deadline_s,
-                "node_ceiling": node_ceiling,
-                "bounded_deadline_s": bounded_deadline_s,
-                "replay": replay,
-                "check_bisim": check_bisim,
-                "wall_s": wall_s,
-                "cpu_s": cpu_s,
-                "mem_bytes": mem_bytes,
-            },
-            mapping=mapping,
-        )
+    if isolation in ("process", "daemon"):
+        opts = {
+            "engine": engine,
+            "max_internal": max_internal,
+            "det_budget": det_budget,
+            "mso_deadline_s": mso_deadline_s,
+            "node_ceiling": node_ceiling,
+            "bounded_deadline_s": bounded_deadline_s,
+            "replay": replay,
+            "check_bisim": check_bisim,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "mem_bytes": mem_bytes,
+        }
+        if isolation == "daemon":
+            if daemon_socket is None:
+                raise ValueError(
+                    "isolation='daemon' needs daemon_socket= "
+                    "(the socket of a running `repro serve`)"
+                )
+            res = _via_daemon(
+                "check-fusion", (p, p_prime), opts, daemon_socket,
+                mapping=mapping,
+            )
+        else:
+            res = _isolated("check-fusion", (p, p_prime), opts, mapping=mapping)
         if cache is not None:
             _cache_store(cache, query, res)
         return res

@@ -1,11 +1,16 @@
 """Content-addressed result cache with soundness-aware reuse.
 
 Records are keyed by :meth:`query.key` — the hash of *what* is asked,
-never of the limits — and stored in memory plus (optionally) on disk
-through :class:`repro.service.store.ResultStore`, so cached verdicts
-get the same checksummed, atomically-written, quarantine-on-corruption
-treatment as batch results, and a batch run directory doubles as a
-warm cache across runs.
+never of the limits — and stored in memory plus (optionally) a durable
+backend: ``path=`` a directory uses
+:class:`repro.service.store.ResultStore` (one checksummed JSON file per
+record, the per-run-dir tier), while ``backend=`` accepts any object
+with the same ``get(key)``/``put(key, payload)`` surface — in
+particular :class:`repro.service.sharedcache.SharedCache`, the shared
+cross-run sqlite tier behind the solve daemon.  Either way cached
+verdicts get checksummed, atomically-written, quarantine-on-corruption
+treatment, and a run directory (or daemon cache) doubles as a warm
+cache across runs.
 
 Reuse is governed by the deciding engine's declared
 :class:`~repro.engine.engines.Capabilities`, not by the verdict alone:
@@ -62,11 +67,13 @@ class CacheStats:
 class ResultCache:
     """In-memory + optional on-disk verdict cache keyed by query hash."""
 
-    def __init__(self, path: Optional[Path] = None) -> None:
+    def __init__(self, path: Optional[Path] = None, backend=None) -> None:
+        if path is not None and backend is not None:
+            raise ValueError("pass either path= or backend=, not both")
         self._memory: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
-        self._store = None
+        self._store = backend
         if path is not None:
             from ..service.store import ResultStore
 

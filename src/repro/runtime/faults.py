@@ -36,6 +36,8 @@ from .errors import SolverInternalError
 
 __all__ = [
     "PROBES",
+    "SOLVER_PROBES",
+    "SERVICE_PROBES",
     "ARMED",
     "InjectedFault",
     "FaultSpec",
@@ -46,12 +48,29 @@ __all__ = [
     "install_from_env",
 ]
 
-#: Every probe point compiled into the runtime.  ``worker-abort`` is the
-#: non-cooperative one: it sits in :mod:`repro.service.worker` and, when
-#: armed, a sandboxed child answers it by dying on SIGSEGV mid-solve
-#: (no frame, no cleanup) instead of raising — the crash analogue of the
-#: in-process probes, used to test the supervisor/batch recovery paths.
-PROBES = ("bdd.apply", "product.expand", "emptiness.fixpoint", "worker-abort")
+#: Probes on the in-process decision procedure's hot paths.
+SOLVER_PROBES = ("bdd.apply", "product.expand", "emptiness.fixpoint")
+
+#: Probes on the service layer.  ``worker-abort`` is the non-cooperative
+#: one: it sits in :mod:`repro.service.worker` and, when armed, a
+#: sandboxed child answers it by dying on SIGSEGV mid-solve (no frame,
+#: no cleanup) instead of raising — the crash analogue of the in-process
+#: probes, used to test the supervisor/batch recovery paths.  The other
+#: three sit in the solve daemon (DESIGN.md §11): ``queue-full`` forces
+#: the admission queue to reject as if saturated, ``cache-row-corrupt``
+#: substitutes a corrupted row payload on a shared-cache read (the
+#: checksum must catch it and quarantine the row), and
+#: ``drain-interrupt`` aborts a graceful drain mid-way (the journal and
+#: shared cache must still be consistent afterwards).
+SERVICE_PROBES = (
+    "worker-abort",
+    "queue-full",
+    "cache-row-corrupt",
+    "drain-interrupt",
+)
+
+#: Every probe point compiled into the runtime.
+PROBES = SOLVER_PROBES + SERVICE_PROBES
 
 #: Fast flag checked at probe sites; true iff any probe is armed.
 ARMED = False
@@ -124,8 +143,13 @@ def _corrupted(probe: str, value):
         if isinstance(value, tuple) and value:
             return tuple(value[:-1]) + ([],)
         return ([],)
-    # emptiness.fixpoint: the fixpoint loop subscripts popped tuples, so
-    # None raises TypeError on first use.
+    if probe == "cache-row-corrupt":
+        # Valid JSON that can never checksum against its row: the shared
+        # cache must quarantine it and report a miss, never serve it.
+        return '{"injected": "cache-row-corrupt"}'
+    # emptiness.fixpoint (and the remaining service probes, which are
+    # only meaningful with action="raise"): the fixpoint loop subscripts
+    # popped tuples, so None raises TypeError on first use.
     return None
 
 

@@ -9,7 +9,7 @@ cooperative* kind: runaway BDD growth that outruns every probe, C-level
 recursion blowouts, or a fault-injected corruption that escapes the
 ladder and takes the interpreter down with it.
 
-Four layers:
+Seven layers:
 
 * :mod:`repro.service.protocol` — length-prefixed JSON framing, the
   serializable :class:`Task`/:class:`Limits` model, and content-hash
@@ -28,11 +28,26 @@ Four layers:
   checksummed result store (atomic write-rename, corruption quarantine)
   and an append-only journal enabling ``repro batch --resume``: a run
   killed with SIGKILL mid-way restarts and recomputes only the verdicts
-  that were never journaled.
+  that were never journaled;
+* :mod:`repro.service.scheduler` — admission control for the daemon:
+  bounded queue with typed :class:`ServiceOverloaded` rejections and
+  retry-after hints, priority-aware load shedding, per-client
+  token-bucket quotas, and stride-scheduled weighted fairness;
+* :mod:`repro.service.sharedcache` — the shared cross-run sqlite cache
+  tier (checksummed rows, corruption quarantine, WAL crash safety)
+  that :class:`repro.engine.cache.ResultCache` uses as a backend;
+* :mod:`repro.service.daemon` + :mod:`repro.service.client` — the
+  long-lived multi-tenant solve daemon behind ``repro serve`` (DESIGN.md
+  §11) and its blocking socket client (``repro client``,
+  ``core.api``'s ``isolation="daemon"``).
 """
 
 from .batch import BatchError, BatchReport, load_manifest, run_batch
+from .client import DaemonClient
+from .daemon import DaemonConfig, DaemonError, SolveDaemon, serve
 from .protocol import Limits, Task, task_key
+from .scheduler import FairScheduler, ServiceOverloaded, TokenBucket
+from .sharedcache import SharedCache
 from .store import Journal, ResultStore
 from .supervisor import (
     CircuitBreaker,
@@ -65,4 +80,13 @@ __all__ = [
     "BatchReport",
     "load_manifest",
     "run_batch",
+    "FairScheduler",
+    "ServiceOverloaded",
+    "TokenBucket",
+    "SharedCache",
+    "SolveDaemon",
+    "DaemonConfig",
+    "DaemonError",
+    "DaemonClient",
+    "serve",
 ]

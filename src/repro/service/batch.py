@@ -507,6 +507,8 @@ def run_batch(
         attempts_out[task.name] = {
             "resumed": key in done,
             "attempts": res.attempts,
+            "retries": res.retries,
+            "degraded": res.degraded,
             "elapsed": round(res.final.elapsed, 6),
             "status": res.final.status,
         }
@@ -527,6 +529,13 @@ def run_batch(
                 "violations": report.violations,
                 "unknown": report.unknown,
                 "breaker_open": report.breaker_open,
+                "breaker": supervisor.breaker.as_dict(),
+                "retry_budget": {
+                    "per_task_max": supervisor.policy.max_attempts - 1,
+                    "spent_total": sum(
+                        r.retries for r in computed.values()
+                    ),
+                },
                 "journal_skipped_lines": report.journal_skipped_lines,
                 "quarantined": report.quarantined,
                 "cache_hits": report.cache_hits,

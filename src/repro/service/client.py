@@ -1,0 +1,162 @@
+"""Synchronous client for the solve daemon.
+
+One :class:`DaemonClient` owns one Unix-socket connection to a
+:class:`~repro.service.daemon.SolveDaemon` and speaks the same
+length-prefixed JSON framing as the worker protocol.  It is the
+transport behind ``repro client`` and ``core.api``'s
+``isolation="daemon"`` dispatch; use one instance per thread.
+
+Admission rejections surface as the typed
+:class:`~repro.service.scheduler.ServiceOverloaded` carrying the
+daemon's retry-after hint; :meth:`DaemonClient.submit_task` can honor
+that hint itself with ``retries=``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..runtime.errors import ReproError
+from .protocol import Task, read_frame, write_frame
+from .scheduler import DEFAULT_PRIORITY, ServiceOverloaded
+
+__all__ = ["DaemonClient", "DaemonError"]
+
+
+class DaemonError(ReproError):
+    """The daemon cannot start/serve, is unreachable, or answered with
+    a non-overload error (the CLI maps this to exit code 2)."""
+
+
+class DaemonClient:
+    """Blocking length-prefixed-JSON client for one daemon socket."""
+
+    def __init__(
+        self,
+        socket_path: Path,
+        client_id: str = "anon",
+        timeout_s: float = 300.0,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._fp = None
+
+    # -- connection ------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._fp is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as e:
+            sock.close()
+            raise DaemonError(
+                f"cannot reach daemon at {self.socket_path}: {e} "
+                f"(is `repro serve` running?)"
+            ) from e
+        self._sock = sock
+        self._fp = sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._fp is not None:
+            try:
+                self._fp.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._fp = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "DaemonClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request/response ------------------------------------------------
+
+    def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One request frame, one response frame."""
+        self._connect()
+        try:
+            write_frame(self._fp, frame)
+            reply = read_frame(self._fp)
+        except (OSError, ValueError) as e:
+            self.close()
+            raise DaemonError(f"daemon connection failed: {e}") from e
+        if reply is None:
+            self.close()
+            raise DaemonError(
+                "daemon closed the connection mid-request "
+                "(crashed or draining?)"
+            )
+        return reply
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"type": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        reply = self.request({"type": "status"})
+        if reply.get("type") != "status":
+            raise DaemonError(f"unexpected status reply: {reply}")
+        return reply["status"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit 0 (what SIGTERM does)."""
+        self.request({"type": "shutdown"})
+
+    def submit_task(
+        self,
+        task: Task,
+        priority: int = DEFAULT_PRIORITY,
+        retries: int = 0,
+        max_wait_s: float = 30.0,
+    ) -> Dict[str, Any]:
+        """Submit one task and wait for its result payload.
+
+        On :class:`ServiceOverloaded`, retries up to ``retries`` times
+        after sleeping the daemon's own retry-after hint (capped by
+        ``max_wait_s``); exhausting the budget re-raises.
+        """
+        attempt = 0
+        while True:
+            reply = self.request(
+                {
+                    "type": "submit",
+                    "client": self.client_id,
+                    "priority": int(priority),
+                    "task": task.to_dict(),
+                }
+            )
+            rtype = reply.get("type")
+            if rtype == "result":
+                return reply
+            if (
+                rtype == "error"
+                and reply.get("error") == "ServiceOverloaded"
+            ):
+                exc = ServiceOverloaded(
+                    reply.get("reason", "queue-full"),
+                    float(reply.get("retry_after_s") or 0.5),
+                    client=self.client_id,
+                )
+                if attempt >= retries:
+                    raise exc
+                attempt += 1
+                time.sleep(min(max_wait_s, max(0.05, exc.retry_after_s)))
+                continue
+            raise DaemonError(
+                f"daemon rejected task: {reply.get('detail') or reply}"
+            )

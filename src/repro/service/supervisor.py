@@ -71,26 +71,52 @@ class RetryPolicy:
 
 
 class CircuitBreaker:
-    """Trips after N consecutive crashes of symbolic workers."""
+    """Trips after N consecutive crashes of symbolic workers.
+
+    The breaker's full state is observable through :meth:`as_dict` —
+    surfaced in the batch ``report.json`` and the daemon's
+    ``repro serve --status`` output, so bounded-only degradation is
+    visible rather than silent.
+    """
 
     def __init__(self, threshold: int = 3) -> None:
         self.threshold = threshold
         self._consecutive = 0
         self._open = False
+        self._trips = 0
         self._lock = threading.Lock()
 
     @property
     def open(self) -> bool:
         return self._open
 
+    @property
+    def consecutive_crashes(self) -> int:
+        return self._consecutive
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has transitioned closed → open."""
+        return self._trips
+
     def record(self, outcome_class: str, symbolic: bool) -> None:
         with self._lock:
             if outcome_class == "crashed" and symbolic:
                 self._consecutive += 1
-                if self._consecutive >= self.threshold:
+                if self._consecutive >= self.threshold and not self._open:
                     self._open = True
+                    self._trips += 1
             elif outcome_class == "ok":
                 self._consecutive = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "open": self._open,
+                "threshold": self.threshold,
+                "consecutive_crashes": self._consecutive,
+                "trips": self._trips,
+            }
 
 
 def _task_is_symbolic(task: Task) -> bool:
@@ -144,6 +170,11 @@ class SupervisedResult:
     @property
     def ok(self) -> bool:
         return self.final.status == "ok"
+
+    @property
+    def retries(self) -> int:
+        """Retry-budget spend: attempts beyond the first."""
+        return max(0, len(self.attempts) - 1)
 
 
 class Supervisor:

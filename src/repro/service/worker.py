@@ -211,7 +211,11 @@ def _maybe_worker_abort(symbolic: bool) -> None:
     engine (the hook models a non-cooperative symbolic blow-up, and this
     is what lets the circuit breaker's bounded-only degradation actually
     recover), and — when ``REPRO_FAULT_ONCE`` names a sentinel path —
-    only until the sentinel exists.
+    exactly once *pool-wide*: the sentinel is claimed with an atomic
+    ``O_CREAT | O_EXCL`` create, so concurrent children that all raced
+    past the fast-path existence check still elect a single crasher
+    (under the daemon's pool several workers start at once; a
+    check-then-touch sentinel would let every one of them die).
     """
     from ..runtime import faults
 
@@ -224,7 +228,10 @@ def _maybe_worker_abort(symbolic: bool) -> None:
         faults.fire("worker-abort")
     except faults.InjectedFault:
         if once:
-            Path(once).touch()
+            try:
+                os.close(os.open(once, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                return  # another child already claimed the crash
         os.kill(os.getpid(), signal.SIGSEGV)
         os._exit(139)  # fallback if SIGSEGV is somehow blocked
 

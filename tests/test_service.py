@@ -536,3 +536,64 @@ def test_batch_cli_end_to_end(tmp_path):
     )
     assert proc3.returncode == 2
     assert "error:" in proc3.stderr
+
+
+def test_report_json_surfaces_breaker_and_retry_budget(tmp_path):
+    """report.json carries the circuit breaker's full state and each
+    task's retry/degradation spend — observability, not just a bool."""
+    m = write_manifest(tmp_path / "m.json")
+    run = tmp_path / "run"
+    run_batch(m, run)
+    report = json.loads((run / "report.json").read_text())
+    assert report["breaker"] == {
+        "open": False, "threshold": 3,
+        "consecutive_crashes": 0, "trips": 0,
+    }
+    assert report["retry_budget"]["per_task_max"] == 2
+    assert report["retry_budget"]["spent_total"] == 0
+    for name in ("racy", "clean"):
+        assert report["tasks"][name]["retries"] == 0
+        assert report["tasks"][name]["degraded"] is False
+
+
+def test_breaker_as_dict_counts_trips(tmp_path):
+    br = CircuitBreaker(threshold=1)
+    sup = Supervisor(
+        policy=RetryPolicy(max_attempts=2, backoff_base_s=0.01),
+        breaker=br,
+        env=crash_env(tmp_path, once=False),
+    )
+    res = sup.run_one(task_for_race(RACY, options={"max_internal": 2}))
+    assert res.ok and res.retries == 1
+    state = br.as_dict()
+    assert state["open"] is True and state["trips"] == 1
+    # The clean degraded retry reset the consecutive-crash streak, but
+    # the breaker stays open and the trip stays counted.
+    assert state["consecutive_crashes"] == 0
+    assert state["threshold"] == 1
+
+
+def test_fault_once_sentinel_fires_exactly_once_pool_wide(tmp_path):
+    """Four symbolic tasks race through four concurrent children with
+    REPRO_FAULT=worker-abort armed and a shared REPRO_FAULT_ONCE
+    sentinel: exactly ONE child may crash.  The sentinel claim is an
+    atomic O_CREAT|O_EXCL open, so concurrently-starting children
+    cannot both win the race (the old exists()-then-touch pattern
+    could crash several)."""
+    sup = Supervisor(
+        policy=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+        breaker=CircuitBreaker(threshold=100),  # stay closed: no degrade
+        env=crash_env(tmp_path, once=True),
+    )
+    tasks = []
+    for i in range(4):
+        src = RACY.replace("return a + b", f"return a + b + {i}")
+        tasks.append(task_for_race(src, options={"max_internal": 2},
+                                   name=f"t{i}"))
+    results = sup.map(tasks, jobs=4)
+    assert len(results) == 4
+    crashes = sum(
+        1 for r in results for a in r.attempts if a["outcome"] == "crashed"
+    )
+    assert crashes == 1, f"sentinel fired {crashes}× (want exactly 1)"
+    assert all(r.ok for r in results)  # the crashed task retried clean
