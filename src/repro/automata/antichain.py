@@ -1,0 +1,158 @@
+"""Antichain subsumption for the lazy product fixpoint (upward simulation).
+
+The lazy emptiness engine reaches an accepting product tuple or saturates.
+Many of the tuples it constructs are *subsumed*: if every component of a
+tuple ``t`` is upward-simulated by the corresponding component of an
+already-reached tuple ``u``, then any tree context that completes ``t``
+into an accepting run also completes ``u`` — so ``t`` contributes nothing
+to emptiness and can be dropped.  Keeping only the maximal tuples (an
+antichain per dominance) shrinks both the frontier and the quadratic
+processed-pairs expansion.
+
+The relation computed here is upward simulation parameterized by the
+*identity* relation on siblings (the cheap, always-sound member of the
+Abdulla/Bouajjani/Holík/Kaati/Vojnar family): ``q ⪯ q'`` iff
+
+* ``q ∈ F  ⇒  q' ∈ F``  (acceptance is preserved at every height), and
+* for every transition of the factor with ``q`` as the left (resp.
+  right) child and sibling state ``s``, with guard ``g`` and target
+  ``t``: ``g`` implies the disjunction of the guards ``g'`` of the
+  transitions with ``q'`` in the same position, the *same* sibling
+  ``s``, and a target ``t'`` with ``t ⪯ t'``.
+
+Soundness of the pruning (the antichain invariant DESIGN.md §12 states):
+when exploration drops ``t`` because a kept ``u`` dominates it
+componentwise, every synchronized product transition firing from a
+child-pair involving ``t`` is guard-covered by product transitions from
+the same pair with ``t`` replaced by ``u`` whose target tuples dominate
+the original target — by distributing the per-factor guard implications
+through the conjunction — so an accepting tuple stays reachable iff it
+was reachable before pruning.  Verdicts never change; only the set of
+constructed tuples (and possibly which witness is found first) does.
+
+The relation is the greatest fixpoint, computed by iterated removal, so
+stopping early would be *unsound* (too-large relation); when the work cap
+trips, the identity relation (no pruning for that factor) is returned
+instead.  Results are cached on the automaton object — factors are
+shared across queries via the compiler memo, so each factor pays for its
+simulation once per solver lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..runtime import ResourceGuard
+from .tta import TreeAutomaton
+
+__all__ = ["upward_simulation", "cached_upward_simulation"]
+
+#: Factors larger than this skip simulation entirely (quadratic pair
+#: table); the big factors are exactly where exploration needs pruning
+#: most, so the cap is generous.
+MAX_SIM_STATES = 512
+
+#: Cap on guard-implication checks per factor; past it the computation
+#: abandons (returns identity) rather than burning compile time.
+MAX_SIM_CHECKS = 2_000_000
+
+
+def upward_simulation(
+    auto: TreeAutomaton,
+    max_states: int = MAX_SIM_STATES,
+    max_checks: int = MAX_SIM_CHECKS,
+    guard: Optional[ResourceGuard] = None,
+) -> Dict[int, FrozenSet[int]]:
+    """``{q: states strictly upward-simulating q}`` (identity omitted).
+
+    Empty dict means the relation is trivial (identity only, or the
+    computation was abandoned): no pruning is possible for this factor.
+    """
+    n = auto.n_states
+    if n <= 1:
+        return {}
+    if n > max_states:
+        return {}
+    mgr = auto.manager
+    false = mgr.false
+    apply_or = mgr.apply_or
+    apply_diff = mgr.apply_diff
+    acc = auto.accepting
+
+    # Candidate dominators per state: acceptance-compatible, non-equal.
+    above: List[set] = [
+        set(
+            qp
+            for qp in (acc if q in acc else range(n))
+            if qp != q
+        )
+        for q in range(n)
+    ]
+
+    # Occurrences of each state as a child, indexed by position+sibling.
+    left_occ: Dict[int, List[Tuple[int, list]]] = {}
+    right_occ: Dict[int, List[Tuple[int, list]]] = {}
+    for (l, r), entries in auto.delta.items():
+        left_occ.setdefault(l, []).append((r, entries))
+        right_occ.setdefault(r, []).append((l, entries))
+
+    delta = auto.delta
+    checks = 0
+    changed = True
+    while changed:
+        changed = False
+        if guard is not None:
+            guard.tick("antichain.sim")
+        for q in range(n):
+            cand = above[q]
+            if not cand:
+                continue
+            occs = (
+                (False, left_occ.get(q, ())),
+                (True, right_occ.get(q, ())),
+            )
+            drops = []
+            for qp in cand:
+                ok = True
+                for is_right, occ in occs:
+                    for s, entries in occ:
+                        peer = delta.get((s, qp) if is_right else (qp, s))
+                        for g, tgt in entries:
+                            cover = false
+                            if peer:
+                                tgt_above = above[tgt]
+                                for g2, tgt2 in peer:
+                                    if tgt2 == tgt or tgt2 in tgt_above:
+                                        cover = apply_or(cover, g2)
+                            checks += 1
+                            if checks > max_checks:
+                                return {}
+                            if apply_diff(g, cover) != false:
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                    if not ok:
+                        break
+                if not ok:
+                    drops.append(qp)
+            if drops:
+                cand.difference_update(drops)
+                changed = True
+    return {q: frozenset(s) for q, s in enumerate(above) if s}
+
+
+def cached_upward_simulation(
+    auto: TreeAutomaton, guard: Optional[ResourceGuard] = None
+) -> Dict[int, FrozenSet[int]]:
+    """Per-automaton memo of :func:`upward_simulation`.
+
+    Automata are immutable after construction and shared across queries
+    (compiler memo, conjunction cache), so caching on the instance makes
+    the simulation a once-per-factor cost for a whole solver lifetime.
+    """
+    sim = getattr(auto, "_upsim", None)
+    if sim is None:
+        sim = upward_simulation(auto, guard=guard)
+        auto._upsim = sim
+    return sim

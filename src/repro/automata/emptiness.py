@@ -56,10 +56,17 @@ def is_empty(
     max_states: Optional[int] = None,
     deadline: Optional[float] = None,
     guard: Optional[ResourceGuard] = None,
+    antichain: Optional[bool] = None,
 ) -> bool:
-    """True iff the automaton accepts no labelled tree."""
+    """True iff the automaton accepts no labelled tree.
+
+    ``antichain`` overrides the subsumption-pruning default of
+    :meth:`ProductAutomaton.explore` (None = the class default); the
+    verdict is the same either way, per the antichain invariant.
+    """
     exp = _as_product(a).explore(
-        max_states=max_states, deadline=deadline, guard=guard
+        max_states=max_states, deadline=deadline, guard=guard,
+        antichain=antichain,
     )
     return exp.empty
 
@@ -69,10 +76,14 @@ def find_witness(
     max_states: Optional[int] = None,
     deadline: Optional[float] = None,
     guard: Optional[ResourceGuard] = None,
+    antichain: Optional[bool] = None,
 ) -> Optional[Witness]:
     """A smallest-ish accepted labelled tree, or None when empty."""
     prod = _as_product(a)
-    exp = prod.explore(max_states=max_states, deadline=deadline, guard=guard)
+    exp = prod.explore(
+        max_states=max_states, deadline=deadline, guard=guard,
+        antichain=antichain,
+    )
     return witness_from_exploration(prod, exp)
 
 

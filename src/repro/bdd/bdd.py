@@ -1,4 +1,4 @@
-"""Reduced ordered binary decision diagrams (ROBDDs).
+"""Reduced ordered binary decision diagrams (ROBDDs), int-table layout.
 
 The symbolic backbone of the tree-automata library: transition guards over
 the node-label alphabet {0,1}^k are BDDs, so automata scale with the number
@@ -6,13 +6,25 @@ of *states*, not with 2^k alphabet entries — the same architectural choice
 MONA makes.
 
 Implementation notes (pure Python, tuned per the HPC guides' "algorithmic
-optimization first" rule):
+optimization first" rule).  Nodes live in a flat *int table*: three
+parallel arrays ``_var``/``_lo``/``_hi`` indexed by the node handle, so a
+node is just an ``int`` and dereferencing it is two list reads instead of
+a tuple allocation + unpack.  Hash-consing and the operation memo are
+plain dicts keyed by *packed integers* (level/lo/hi and operand pairs
+bit-packed into one int), which CPython stores open-addressed with the
+identity hash — no tuple hashing on the hot path.  Handle/level packing
+widths are fixed (``_SHIFT`` bits per handle, ``_LEVEL_BITS`` per level)
+and enforced at allocation, so keys can never collide across fields.
 
-* nodes are hash-consed into a single manager; a node is an ``int`` index,
-  terminals are ``0`` and ``1``;
+The public surface is identical to the original tuple-node manager,
+which survives as :class:`repro.bdd.reference.ReferenceBDDManager` and is
+held equivalent by ``tests/test_bdd_differential.py``:
+
+* terminals are ``0`` and ``1``; a node is an ``int`` index;
 * ``apply`` / ``ite`` / ``exists`` are memoized per manager;
-* variables are integer *levels*; the caller (the automata layer) maps track
-  names to levels.
+* variables are integer *levels*; the caller (the automata layer) maps
+  track names to levels;
+* ``cache_stats()`` exposes the same counter keys.
 """
 
 from __future__ import annotations
@@ -20,13 +32,15 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..runtime import faults as _faults
+from ..runtime.errors import MemoryCeilingExceeded
 
 __all__ = ["BDDManager"]
 
 FALSE = 0
 TRUE = 1
 
-# Operation tags for the shared memo table (small ints hash fastest).
+# Operation tags for the shared memo table (low bits of every packed key,
+# so per-op keys occupy disjoint ranges of one dict).
 _AND = 0
 _OR = 1
 _NOT = 2
@@ -36,20 +50,38 @@ _RESTRICT = 4
 _OP_NAMES = {_AND: "and", _OR: "or", _NOT: "not",
              _EXISTS: "exists", _RESTRICT: "restrict"}
 
+#: Bits per node handle in packed keys: handles < 2^26 (≈67M nodes).
+_SHIFT = 26
+_CAPACITY = 1 << _SHIFT
+#: Bits per variable level in packed keys.
+_LEVEL_BITS = 20
+_MAX_LEVEL = 1 << _LEVEL_BITS
+
 
 class BDDManager:
-    """A shared store of hash-consed BDD nodes."""
+    """A shared store of hash-consed BDD nodes in a flat int table."""
 
     def __init__(self) -> None:
-        # node idx -> (level, lo, hi); indices 0/1 are terminals.
-        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        # One keyed operation cache for every memoized op; keys are
-        # (op-tag, operands...).  A single table keeps memory accounting
-        # (and ``cache_stats``) trivial and lets callers clear one dict.
-        self._op_cache: Dict[Tuple, int] = {}
+        # Parallel arrays: node idx -> var level / low child / high child.
+        # Indices 0/1 are the terminals (level -1 keeps them below every
+        # real variable without special-casing level reads).
+        self._var: List[int] = [-1, -1]
+        self._lo: List[int] = [-1, -1]
+        self._hi: List[int] = [-1, -1]
+        # Unique (hash-cons) table: (level << 2*_SHIFT | lo << _SHIFT | hi)
+        # -> idx.  Int keys hash to themselves, so probing is one modulo.
+        self._unique: Dict[int, int] = {}
+        # One packed-int-keyed operation cache for every memoized op; the
+        # op tag sits in the low 3 bits, so a single dict serves all five
+        # ops and callers can still clear / account for one table.
+        self._op_cache: Dict[int, int] = {}
         self._op_hits = 0
         self._op_misses = 0
+        # Entries currently memoized per op tag (cache_stats breakdown;
+        # counted at insert time since entries are never evicted).
+        self._op_entries = [0, 0, 0, 0, 0]
+        # Quantified level-set -> packed bitmask (exists() cache keys).
+        self._mask_cache: Dict[frozenset, int] = {}
         # Optional ResourceGuard (set via guard.bind_manager): enforces
         # the BDD-node ceiling and the deadline from inside allocation.
         self.guard = None
@@ -58,11 +90,19 @@ class BDDManager:
     def _mk(self, level: int, lo: int, hi: int) -> int:
         if lo == hi:
             return lo
-        key = (level, lo, hi)
+        key = (level << 52) | (lo << _SHIFT) | hi
         idx = self._unique.get(key)
         if idx is None:
-            idx = len(self._nodes)
-            self._nodes.append(key)
+            var = self._var
+            idx = len(var)
+            if idx >= _CAPACITY:
+                raise MemoryCeilingExceeded(
+                    f"BDD unique table exceeded int-table capacity ({_CAPACITY} nodes)",
+                    counters={"bdd_nodes": idx},
+                )
+            var.append(level)
+            self._lo.append(lo)
+            self._hi.append(hi)
             self._unique[key] = idx
             # Probe the guard every 256 allocations: cheap enough to sit
             # on the allocation path, frequent enough that a node ceiling
@@ -72,10 +112,10 @@ class BDDManager:
         return idx
 
     def level(self, u: int) -> int:
-        return self._nodes[u][0]
+        return self._var[u]
 
     def node(self, u: int) -> Tuple[int, int, int]:
-        return self._nodes[u]
+        return (self._var[u], self._lo[u], self._hi[u])
 
     @property
     def true(self) -> int:
@@ -87,13 +127,17 @@ class BDDManager:
 
     def var(self, level: int) -> int:
         """The BDD of "bit at ``level`` is 1"."""
+        if not (0 <= level < _MAX_LEVEL):
+            raise ValueError(f"BDD level {level} outside packed range [0, {_MAX_LEVEL})")
         return self._mk(level, FALSE, TRUE)
 
     def nvar(self, level: int) -> int:
+        if not (0 <= level < _MAX_LEVEL):
+            raise ValueError(f"BDD level {level} outside packed range [0, {_MAX_LEVEL})")
         return self._mk(level, TRUE, FALSE)
 
     def size(self) -> int:
-        return len(self._nodes)
+        return len(self._var)
 
     def cache_stats(self) -> Dict[str, int]:
         """Node and operation-cache counters (for solver statistics).
@@ -101,17 +145,14 @@ class BDDManager:
         ``cache_<op>`` entries count memoized results per operation;
         ``cache_hits``/``cache_misses`` count lookups since construction.
         """
-        per_op: Dict[int, int] = {}
-        for key in self._op_cache:
-            per_op[key[0]] = per_op.get(key[0], 0) + 1
         out = {
-            "nodes": len(self._nodes),
+            "nodes": len(self._var),
             "cache_entries": len(self._op_cache),
             "cache_hits": self._op_hits,
             "cache_misses": self._op_misses,
         }
         for tag, name in _OP_NAMES.items():
-            out[f"cache_{name}"] = per_op.get(tag, 0)
+            out[f"cache_{name}"] = self._op_entries[tag]
         return out
 
     # -- boolean operations -------------------------------------------------------
@@ -126,28 +167,33 @@ class BDDManager:
             return u
         if u > v:
             u, v = v, u
-        key = (_AND, u, v)
-        r = self._op_cache.get(key)
+        key = (((u << _SHIFT) | v) << 3) | _AND
+        cache = self._op_cache
+        r = cache.get(key)
         if r is not None:
             self._op_hits += 1
             return r
         self._op_misses += 1
-        lu, lou, hiu = self._nodes[u]
-        lv, lov, hiv = self._nodes[v]
+        var = self._var
+        lo_ = self._lo
+        hi_ = self._hi
+        lu = var[u]
+        lv = var[v]
         if lu == lv:
-            lo = self.apply_and(lou, lov)
-            hi = self.apply_and(hiu, hiv)
+            lo = self.apply_and(lo_[u], lo_[v])
+            hi = self.apply_and(hi_[u], hi_[v])
             lvl = lu
         elif lu < lv:
-            lo = self.apply_and(lou, v)
-            hi = self.apply_and(hiu, v)
+            lo = self.apply_and(lo_[u], v)
+            hi = self.apply_and(hi_[u], v)
             lvl = lu
         else:
-            lo = self.apply_and(u, lov)
-            hi = self.apply_and(u, hiv)
+            lo = self.apply_and(u, lo_[v])
+            hi = self.apply_and(u, hi_[v])
             lvl = lv
-        r = self._mk(lvl, lo, hi)
-        self._op_cache[key] = r
+        r = lo if lo == hi else self._mk(lvl, lo, hi)
+        cache[key] = r
+        self._op_entries[_AND] += 1
         if _faults.ARMED:
             r = _faults.fire("bdd.apply", r)
         return r
@@ -163,28 +209,33 @@ class BDDManager:
             return u
         if u > v:
             u, v = v, u
-        key = (_OR, u, v)
-        r = self._op_cache.get(key)
+        key = (((u << _SHIFT) | v) << 3) | _OR
+        cache = self._op_cache
+        r = cache.get(key)
         if r is not None:
             self._op_hits += 1
             return r
         self._op_misses += 1
-        lu, lou, hiu = self._nodes[u]
-        lv, lov, hiv = self._nodes[v]
+        var = self._var
+        lo_ = self._lo
+        hi_ = self._hi
+        lu = var[u]
+        lv = var[v]
         if lu == lv:
-            lo = self.apply_or(lou, lov)
-            hi = self.apply_or(hiu, hiv)
+            lo = self.apply_or(lo_[u], lo_[v])
+            hi = self.apply_or(hi_[u], hi_[v])
             lvl = lu
         elif lu < lv:
-            lo = self.apply_or(lou, v)
-            hi = self.apply_or(hiu, v)
+            lo = self.apply_or(lo_[u], v)
+            hi = self.apply_or(hi_[u], v)
             lvl = lu
         else:
-            lo = self.apply_or(u, lov)
-            hi = self.apply_or(u, hiv)
+            lo = self.apply_or(u, lo_[v])
+            hi = self.apply_or(u, hi_[v])
             lvl = lv
-        r = self._mk(lvl, lo, hi)
-        self._op_cache[key] = r
+        r = lo if lo == hi else self._mk(lvl, lo, hi)
+        cache[key] = r
+        self._op_entries[_OR] += 1
         if _faults.ARMED:
             r = _faults.fire("bdd.apply", r)
         return r
@@ -194,15 +245,15 @@ class BDDManager:
             return TRUE
         if u == TRUE:
             return FALSE
-        key = (_NOT, u)
+        key = (u << 3) | _NOT
         r = self._op_cache.get(key)
         if r is not None:
             self._op_hits += 1
             return r
         self._op_misses += 1
-        lvl, lo, hi = self._nodes[u]
-        r = self._mk(lvl, self.apply_not(lo), self.apply_not(hi))
+        r = self._mk(self._var[u], self.apply_not(self._lo[u]), self.apply_not(self._hi[u]))
         self._op_cache[key] = r
+        self._op_entries[_NOT] += 1
         return r
 
     def apply_diff(self, u: int, v: int) -> int:
@@ -232,66 +283,87 @@ class BDDManager:
     def restrict(self, u: int, level: int, value: bool) -> int:
         if u <= TRUE:
             return u
-        key = (_RESTRICT, u, level, value)
+        key = (((((u << _LEVEL_BITS) | level) << 1) | (1 if value else 0)) << 3) | _RESTRICT
         r = self._op_cache.get(key)
         if r is not None:
             self._op_hits += 1
             return r
         self._op_misses += 1
-        lvl, lo, hi = self._nodes[u]
+        lvl = self._var[u]
         if lvl > level:
             r = u
         elif lvl == level:
-            r = hi if value else lo
+            r = self._hi[u] if value else self._lo[u]
         else:
             r = self._mk(
                 lvl,
-                self.restrict(lo, level, value),
-                self.restrict(hi, level, value),
+                self.restrict(self._lo[u], level, value),
+                self.restrict(self._hi[u], level, value),
             )
         self._op_cache[key] = r
+        self._op_entries[_RESTRICT] += 1
         return r
 
     def exists(self, u: int, levels: frozenset) -> int:
         """Existentially quantify the given levels out of ``u``."""
         if u <= TRUE or not levels:
             return u
-        key = (_EXISTS, u, levels)
+        mask = self._mask_cache.get(levels)
+        if mask is None:
+            mask = 0
+            for lvl in levels:
+                mask |= 1 << lvl
+            self._mask_cache[levels] = mask
+        return self._exists(u, levels, mask)
+
+    def _exists(self, u: int, levels: frozenset, mask: int) -> int:
+        if u <= TRUE:
+            return u
+        lvl = self._var[u]
+        if mask < (1 << lvl):
+            # Every quantified level is above (comes before) this node,
+            # and levels only grow downward: the subgraph is untouched.
+            return u
+        key = (((mask << _SHIFT) | u) << 3) | _EXISTS
         r = self._op_cache.get(key)
         if r is not None:
             self._op_hits += 1
             return r
         self._op_misses += 1
-        lvl, lo, hi = self._nodes[u]
-        elo = self.exists(lo, levels)
-        ehi = self.exists(hi, levels)
-        if lvl in levels:
+        elo = self._exists(self._lo[u], levels, mask)
+        ehi = self._exists(self._hi[u], levels, mask)
+        if (mask >> lvl) & 1:
             r = self.apply_or(elo, ehi)
         else:
             r = self._mk(lvl, elo, ehi)
         self._op_cache[key] = r
+        self._op_entries[_EXISTS] += 1
         return r
 
     # -- evaluation / models -----------------------------------------------------------
     def evaluate(self, u: int, assignment: Callable[[int], bool]) -> bool:
+        var = self._var
+        lo_ = self._lo
+        hi_ = self._hi
         while u > TRUE:
-            lvl, lo, hi = self._nodes[u]
-            u = hi if assignment(lvl) else lo
+            u = hi_[u] if assignment(var[u]) else lo_[u]
         return u == TRUE
 
     def support(self, u: int) -> frozenset:
         out = set()
         seen = set()
         stack = [u]
+        var = self._var
+        lo_ = self._lo
+        hi_ = self._hi
         while stack:
             n = stack.pop()
             if n <= TRUE or n in seen:
                 continue
             seen.add(n)
-            lvl, lo, hi = self._nodes[n]
-            out.add(lvl)
-            stack.append(lo)
-            stack.append(hi)
+            out.add(var[n])
+            stack.append(lo_[n])
+            stack.append(hi_[n])
         return frozenset(out)
 
     def pick_cube(self, u: int) -> Optional[Dict[int, bool]]:
@@ -299,14 +371,18 @@ class BDDManager:
         if u == FALSE:
             return None
         cube: Dict[int, bool] = {}
+        var = self._var
+        lo_ = self._lo
+        hi_ = self._hi
         while u > TRUE:
-            lvl, lo, hi = self._nodes[u]
+            lvl = var[u]
+            hi = hi_[u]
             if hi != FALSE:
                 cube[lvl] = True
                 u = hi
             else:
                 cube[lvl] = False
-                u = lo
+                u = lo_[u]
         return cube
 
     def iter_cubes(self, u: int) -> Iterator[Dict[int, bool]]:
@@ -316,8 +392,8 @@ class BDDManager:
         if u == TRUE:
             yield {}
             return
-        lvl, lo, hi = self._nodes[u]
-        for sub in self.iter_cubes(lo):
+        lvl = self._var[u]
+        for sub in self.iter_cubes(self._lo[u]):
             yield {lvl: False, **sub}
-        for sub in self.iter_cubes(hi):
+        for sub in self.iter_cubes(self._hi[u]):
             yield {lvl: True, **sub}

@@ -488,7 +488,7 @@ def check_equivalence(
     engine: str = "auto",
     max_internal: int = 4,
     det_budget: int = 50_000,
-    mso_deadline_s: Optional[float] = 60.0,
+    mso_deadline_s: Optional[float] = 600.0,
     node_ceiling: Optional[int] = None,
     bounded_deadline_s: Optional[float] = None,
     replay: bool = True,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..lang.blocks import Block, Relation
+from ..mso import ordering
 from ..mso import syntax as S
 from .configurations import MAIN_SID, ProgramModel
 from .pathcond import TransitionCase
@@ -62,20 +63,62 @@ class Encoder:
         return ConfigTracks(f"{self.prefix}{i}")
 
     def preregister(self, registry, track_families: Sequence[ConfigTracks]) -> None:
-        """Assign BDD levels with corresponding tracks adjacent.
+        """Assign BDD levels from program structure (see mso.ordering).
 
-        The ``AgreeUpTo`` guards are conjunctions of pairwise equivalences
-        between config families' tracks; with a blocked variable order
-        (all of family 1, then all of family 2) those BDDs are exponential
-        in the number of labels, with an interleaved order they are linear
-        — the classic vector-equality ordering lesson, applied here before
+        Columns (labels) are seriated so co-occurring ones sit on nearby
+        levels — a function's blocks, its call sites, and the conditions
+        its paths pin all appear together in ``Next``/``Prev`` guards.
+        Families are interleaved per column: the ``AgreeUpTo`` guards are
+        conjunctions of pairwise equivalences between families' tracks,
+        exponential under a blocked order and linear interleaved — the
+        classic vector-equality ordering lesson, applied here before
         anything else registers tracks."""
-        for sid in self.all_sids():
-            for ct in track_families:
-                registry.level(ct.L(sid))
-        for cid in self.all_cids():
-            for ct in track_families:
-                registry.level(ct.C(cid))
+        namers = []
+        for ct in track_families:
+            namers.append(
+                lambda col, _ct=ct: _ct.L(col[1]) if col[0] == "L" else _ct.C(col[1])
+            )
+        for track in ordering.interleave(self.column_order(), namers):
+            registry.level(track)
+
+    def column_order(self) -> List[Tuple[str, str]]:
+        """Seriated ``("L", sid)`` / ``("C", cid)`` columns, main first."""
+        cached = getattr(self, "_col_order", None)
+        if cached is None:
+            cols, edges = self.ordering_affinity()
+            cached = ordering.seriate(cols, edges, start=("L", MAIN_SID))
+            self._col_order = cached
+        return cached
+
+    def ordering_affinity(self):
+        """Column affinity graph for the variable-ordering heuristic.
+
+        Weights reflect how often two labels share a guard conjunct:
+        arithmetic pins sit inside the very disjunct naming their block
+        (heaviest); a call site's label co-occurs with every callee block
+        in successor/predecessor uniqueness; consecutive blocks of one
+        function appear together in the mutual-exclusion choices."""
+        cols: List[Tuple[str, str]] = [("L", s) for s in self.all_sids()]
+        cols += [("C", c) for c in self.all_cids()]
+        edges: Dict[Tuple[Tuple[str, str], Tuple[str, str]], float] = {}
+
+        def bump(a: Tuple[str, str], b: Tuple[str, str], w: float) -> None:
+            if a == b:
+                return
+            k = (a, b) if a <= b else (b, a)
+            edges[k] = edges.get(k, 0.0) + w
+
+        for s_sid, fname in self._call_sites():
+            blocks = self.table.blocks_of(fname)
+            for t in blocks:
+                bump(("L", s_sid), ("L", t.sid), 2.0)
+                for case in self.model.cases(fname, t):
+                    for ap in case.arith_pins:
+                        bump(("L", t.sid), ("C", ap.cid), 4.0)
+                        bump(("L", s_sid), ("C", ap.cid), 1.0)
+            for t1, t2 in zip(blocks, blocks[1:]):
+                bump(("L", t1.sid), ("L", t2.sid), 3.0)
+        return cols, edges
 
     # -- label inventory -----------------------------------------------------
     def all_sids(self) -> List[str]:
@@ -166,6 +209,20 @@ class Encoder:
             if q2 is not q:
                 parts.append(S.Empty(ct.L(q2.sid)))
         return parts
+
+    def current_any(
+        self, ct: ConfigTracks, blocks: Sequence[Block], x: str
+    ) -> S.Formula:
+        """``Current`` for *some* block of a candidate set at ``x``.
+
+        One disjunct per block; lets a query sweep over an image set ask
+        a single satisfiability question instead of one per block — the
+        conjunction with the rest of the query distributes over the
+        union, so the answer is SAT iff some per-block query is."""
+        opts = [
+            S.And(tuple(self.current_parts(ct, b, x))) for b in blocks
+        ]
+        return opts[0] if len(opts) == 1 else S.Or(tuple(opts))
 
     def config_core_parts(self, ct: ConfigTracks) -> List[S.Formula]:
         """The query-independent conjuncts of ``Configuration``: root/main,

@@ -228,6 +228,56 @@ def check_conflict_mso(
         ]
         ord_p = solver.compile(enc_p.ordered(ct1, ct2))
         ord_q_rev = solver.compile(enc_q.ordered(ct4, ct3))
+        def p_side_parts(qa, qb):
+            # Endpoint-specific conjuncts are grouped under their own
+            # cache keys: each group depends on one block, so across the
+            # pair sweep the groups — and the merged factors the lazy
+            # product builds from them — are shared objects, and the
+            # per-query factor-merge phase becomes cache hits.
+            cur_a1 = solver.automaton_conj(
+                enc_p.current_parts(ct1, qa, X1) + [S.Sing(X1)],
+                cache_key=f"cur:{ct1.prefix}:{qa.sid}",
+            )
+            cur_b2 = solver.automaton_conj(
+                enc_p.current_parts(ct2, qb, X2) + [S.Sing(X2)],
+                cache_key=f"cur:{ct2.prefix}:{qb.sid}",
+            )
+            return [
+                cores[0], cores[1], ord_p, cur_a1, cur_b2,
+                enc_p.dependence_geometry(qa, qb, X1, X2),
+            ]
+
+        def q_side_parts(ams, bms):
+            cur_a3 = solver.automaton_conj(
+                [enc_q.current_any(
+                    ct3, [model_q.table.block(a) for a in ams], X1
+                )],
+                cache_key=f"cur:{ct3.prefix}:{','.join(ams)}",
+            )
+            cur_b4 = solver.automaton_conj(
+                [enc_q.current_any(
+                    ct4, [model_q.table.block(b) for b in bms], X2
+                )],
+                cache_key=f"cur:{ct4.prefix}:{','.join(bms)}",
+            )
+            return [cores[2], cores[3], ord_q_rev, cur_a3, cur_b4]
+
+        def localize(qa, qb, ams, bms):
+            """A class query is SAT: find a witnessing image pair and a
+            decodable witness from the joint product (the interface
+            projection cannot be decoded back to labels)."""
+            for qam in ams:
+                for qbm in bms:
+                    acc = solver.automaton_conj(
+                        p_side_parts(qa, qb)
+                        + q_side_parts((qam,), (qbm,))
+                    )
+                    res = solver.sat_of(acc, exist_fo=(X1, X2))
+                    verdict.queries += 1
+                    if res.is_sat:
+                        return qam, qbm, res
+            return None  # interface over-approximation never reaches here
+
         for q1, q2 in _conflicting_block_pairs(model_p):
             if verdict.found or verdict.status != "decided":
                 break
@@ -240,67 +290,92 @@ def check_conflict_mso(
                     clazz = cell_class(kind, name)
                     reqs.add((clazz, "rw", "w"))
                     reqs.add((clazz, "w", "rw"))
-                for qam in sorted(mapping.get(qa.sid, set())):
+                # One query per conflict class, not per image pair: the
+                # access-compatible images form a *product* set A1 × A2
+                # per class, so ``Current`` generalizes to a disjunction
+                # over each side's candidate set and the whole class is
+                # one satisfiability question.  (SAT distributes over
+                # the union, so the answer equals the OR of the old
+                # per-pair queries; a SAT class is then localized.)
+                seen_sets = set()
+                for clazz, n1, n2 in sorted(reqs):
                     if verdict.found or verdict.status != "decided":
                         break
-                    for qbm in sorted(mapping.get(qb.sid, set())):
-                        if guard is not None and guard.expired():
-                            verdict.status = "deadline"
-                            break
-                        ok = any(
-                            block_touches(model_q, qam, clazz, n1)
-                            and block_touches(model_q, qbm, clazz, n2)
-                            for clazz, n1, n2 in reqs
+                    if guard is not None and guard.expired():
+                        verdict.status = "deadline"
+                        break
+                    ams = tuple(
+                        a for a in sorted(mapping.get(qa.sid, set()))
+                        if block_touches(model_q, a, clazz, n1)
+                    )
+                    bms = tuple(
+                        b for b in sorted(mapping.get(qb.sid, set()))
+                        if block_touches(model_q, b, clazz, n2)
+                    )
+                    if not ams or not bms or (ams, bms) in seen_sets:
+                        continue
+                    seen_sets.add((ams, bms))
+                    p_parts = p_side_parts(qa, qb)
+                    if solver.lazy_products:
+                        # An empty P-side interface (e.g. unsatisfiable
+                        # dependence geometry) decides the combo before
+                        # any P'-side automaton is even built.
+                        iface_p = solver.interface_conj(
+                            p_parts, (X1, X2),
+                            cache_key=f"iface-P:{qa.sid}:{qb.sid}",
                         )
-                        if not ok:
+                        if not iface_p.accepting:
+                            verdict.queries += 1
                             continue
-                        bm_a = model_q.table.block(qam)
-                        bm_b = model_q.table.block(qbm)
-                        # Eagerly, the P-side and Q-side constraint systems
-                        # share only the tree shape and the endpoints x1/x2,
-                        # so each side is conjoined separately, projected down
-                        # to its {x1, x2} interface, and only the two (much
-                        # smaller) interface automata are intersected.  The
-                        # lazy engine skips the interface trick: projection
-                        # never changes emptiness, so both sides go into one
-                        # implicit product explored directly under the
-                        # reached-state budget.
-                        p_parts = (
-                            [cores[0], cores[1], ord_p]
-                            + enc_p.current_parts(ct1, qa, X1)
-                            + enc_p.current_parts(ct2, qb, X2)
-                            + [
-                                enc_p.dependence_geometry(qa, qb, X1, X2),
-                                S.Sing(X1),
-                                S.Sing(X2),
-                            ]
+                    q_parts = q_side_parts(ams, bms)
+                    if solver.lazy_products:
+                        # The two sides share only the tree shape and
+                        # the endpoint markers (P*/Q* track prefixes are
+                        # disjoint), so the joint conjunction is empty
+                        # iff the sides' {x1, x2}-interface automata
+                        # intersect empty — and each side depends on
+                        # only its own loop variables, so saturations
+                        # are shared across the sweep.
+                        iface_q = solver.interface_conj(
+                            q_parts, (X1, X2),
+                            cache_key=(
+                                f"iface-Q:{','.join(ams)}|{','.join(bms)}"
+                            ),
                         )
-                        q_parts = (
-                            [cores[2], cores[3], ord_q_rev]
-                            + enc_q.current_parts(ct3, bm_a, X1)
-                            + enc_q.current_parts(ct4, bm_b, X2)
+                        acc = solver.automaton_conj([iface_p, iface_q])
+                        res = solver.sat_of(
+                            acc, exist_fo=(X1, X2), want_witness=False
                         )
-                        if solver.lazy_products:
-                            acc = solver.automaton_conj(p_parts + q_parts)
-                        else:
-                            side_p = solver.automaton_conj(p_parts)
-                            side_q = solver.automaton_conj(q_parts)
-                            iface_p = _interface(side_p, (X1, X2))
-                            iface_q = _interface(side_q, (X1, X2))
-                            acc = solver.automaton_conj([iface_p, iface_q])
+                    else:
+                        side_p = solver.automaton_conj(p_parts)
+                        side_q = solver.automaton_conj(q_parts)
+                        iface_p = _interface(side_p, (X1, X2))
+                        iface_q = _interface(side_q, (X1, X2))
+                        acc = solver.automaton_conj([iface_p, iface_q])
                         res = solver.sat_of(acc, exist_fo=(X1, X2))
-                        verdict.queries += 1
+                    verdict.queries += 1
+                    verdict.max_states = max(
+                        verdict.max_states, res.automaton_states
+                    )
+                    if res.is_sat:
+                        hit = (
+                            localize(qa, qb, ams, bms)
+                            if solver.lazy_products
+                            else (ams[0], bms[0], res)
+                        )
+                        if hit is None:
+                            continue
+                        qam, qbm, res = hit
+                        verdict.found = True
+                        verdict.witness = res.witness
                         verdict.max_states = max(
                             verdict.max_states, res.automaton_states
                         )
-                        if res.is_sat:
-                            verdict.found = True
-                            verdict.witness = res.witness
-                            verdict.witness_info = (
-                                f"dependence ({qa.sid}@x1 -> {qb.sid}@x2) ordered "
-                                f"in P but reversed in P' via ({qam}, {qbm})"
-                            )
-                            break
+                        verdict.witness_info = (
+                            f"dependence ({qa.sid}@x1 -> {qb.sid}@x2) ordered "
+                            f"in P but reversed in P' via ({qam}, {qbm})"
+                        )
+                        break
     except ResourceExhausted as e:
         verdict.status = exhaustion_status(e)
     except ReproError:

@@ -1,0 +1,111 @@
+"""Compile-time BDD variable ordering from program/automaton structure.
+
+Guard BDDs in the compiled tree automata are built over the *track* levels
+of the shared :class:`~repro.bdd.bdd.VarRegistry`; their size is dictated by
+the variable order, which is frozen the first time each track is registered.
+Two classic ordering lessons drive the heuristic here:
+
+* **state-bit interleaving** — tracks playing the same role in different
+  configuration families (``P1.L.s3`` / ``P2.L.s3`` / ``Q1.L.s3`` …) appear
+  together in equality-style guards (the ``AgreeUpTo`` chains of
+  ``Consistent``).  With a blocked order (all of family 1, then all of
+  family 2) those BDDs are exponential in the number of labels; interleaved,
+  they are linear.  :func:`interleave` therefore emits levels column-major:
+  one logical *column* (label) at a time, every family's instance of it on
+  consecutive levels.
+
+* **alphabet-bit grouping** — within one family, automaton guards are
+  conjunctions of pins over small co-occurring label sets: a function's
+  blocks and its call sites (successor/predecessor uniqueness), and the
+  arithmetic conditions its speculative paths pin (``Next``/``Prev``
+  disjuncts).  Placing co-occurring columns on nearby levels keeps those
+  conjunction/ITE BDDs shallow.  :func:`seriate` is a greedy
+  bandwidth-reduction pass over the column affinity graph: starting from a
+  seed column it repeatedly places the unplaced column with the highest
+  recency-weighted affinity to the last few placed ones.
+
+The module is deliberately generic — columns are opaque hashables, affinity
+is a weighted edge dict — so the encoder owns *what* co-occurs and this
+module owns *how* to linearize it.  See DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["seriate", "interleave", "WINDOW"]
+
+Column = TypeVar("Column", bound=Hashable)
+
+#: How many recently-placed columns contribute to a candidate's score.
+#: Small on purpose: guards conjoin a handful of labels at a time, and a
+#: short window keeps the greedy pass from chasing global degree.
+WINDOW = 4
+
+
+def seriate(
+    columns: Sequence[Column],
+    edges: Dict[Tuple[Column, Column], float],
+    start: "Column | None" = None,
+) -> List[Column]:
+    """Linearize ``columns`` so high-affinity pairs land close together.
+
+    ``edges`` maps unordered column pairs to non-negative weights (missing
+    pairs have affinity 0).  ``start`` seeds the order when given and
+    present.  The result is a permutation of ``columns``; ties and
+    disconnected components fall back to the input order, so the pass is
+    deterministic and degrades to the caller's order when the graph is
+    empty.
+    """
+    if not columns:
+        return []
+    rank = {c: i for i, c in enumerate(columns)}
+    adj: Dict[Column, Dict[Column, float]] = {c: {} for c in columns}
+    for (a, b), w in edges.items():
+        if a == b or a not in rank or b not in rank or w <= 0:
+            continue
+        adj[a][b] = adj[a].get(b, 0.0) + w
+        adj[b][a] = adj[b].get(a, 0.0) + w
+
+    remaining = set(columns)
+    placed: List[Column] = []
+    cur: "Column | None" = start if start in remaining else None
+    while remaining:
+        if cur is None or cur not in remaining:
+            # Fresh component: heaviest total affinity, then input order.
+            cur = min(remaining, key=lambda c: (-sum(adj[c].values()), rank[c]))
+        placed.append(cur)
+        remaining.discard(cur)
+
+        window = placed[-WINDOW:]
+        candidates = set()
+        for p in window:
+            candidates.update(adj[p])
+        candidates &= remaining
+        if not candidates:
+            cur = None
+            continue
+
+        def score(c: Column) -> float:
+            # Recency-decayed affinity to the window: the just-placed
+            # column counts full weight, earlier ones half each step back.
+            s = 0.0
+            for back, p in enumerate(reversed(window)):
+                s += adj[p].get(c, 0.0) / (1 << back)
+            return s
+
+        cur = max(candidates, key=lambda c: (score(c), -rank[c]))
+    return placed
+
+
+def interleave(
+    columns: Sequence[Column],
+    namers: Sequence[Callable[[Column], str]],
+) -> List[str]:
+    """Column-major track emission: for each column in order, one track per
+    family (``namers``) on consecutive levels."""
+    out: List[str] = []
+    for col in columns:
+        for namer in namers:
+            out.append(namer(col))
+    return out

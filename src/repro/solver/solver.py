@@ -99,7 +99,7 @@ class MSOSolver:
         registry: Optional[TrackRegistry] = None,
         minimize_always: bool = True,
         det_budget: int = 200_000,
-        product_budget: int = 3_000,
+        product_budget: int = 50_000,
         lazy_products: bool = True,
     ) -> None:
         self.compiler = Compiler(
@@ -110,7 +110,10 @@ class MSOSolver:
         # Conjunction products beyond this state count raise
         # StateBudgetExceeded so callers can fall back to the bounded
         # engine instead of grinding.  Lazily it bounds *reached* product
-        # states; eagerly, materialized ones.
+        # states; eagerly, materialized ones.  The default leaves ~2x
+        # headroom over the largest Table-1 saturation (T1.6 peaks near
+        # 24k reached tuples under antichain pruning), so every paper
+        # query decides on the first "mso" rung.
         self.product_budget = product_budget
         self.lazy_products = lazy_products
         # Optional wall-clock deadline (time.perf_counter() value); when
@@ -122,6 +125,7 @@ class MSOSolver:
         self.guard: Optional[ResourceGuard] = None
         self.stats = SolverStats(budget=product_budget)
         self._conj_cache: Dict[str, Automaton] = {}
+        self._iface_cache: Dict[str, TreeAutomaton] = {}
 
     @property
     def registry(self) -> TrackRegistry:
@@ -229,6 +233,68 @@ class MSOSolver:
             self._conj_cache[cache_key] = acc
         return acc
 
+    def interface_conj(
+        self,
+        parts,
+        keep,
+        cache_key: Optional[str] = None,
+    ) -> TreeAutomaton:
+        """Conjunction of ``parts`` projected onto the ``keep`` tracks.
+
+        Saturates the implicit product once (recording the synchronized
+        transitions it touches), materializes exactly the reached
+        automaton, existentially quantifies every non-interface track,
+        and reduces.  Two constraint systems that share only an
+        interface — e.g. the P-side and P′-side of a ``Conflict`` query,
+        which meet only at the endpoint markers — can then be decided by
+        intersecting their (tiny) interface automata instead of
+        exploring the joint product, whose reachable tuple space is
+        multiplicative in the sides'.  Projection preserves emptiness of
+        any conjunction with track-disjoint partners, so verdicts are
+        unchanged; witnesses must be re-derived from the joint product
+        (interface labels alone cannot be decoded back).
+
+        With ``cache_key`` the interface automaton is memoized on the
+        solver: a side that depends only on one loop variable of a query
+        sweep is saturated once, not once per combination.
+        """
+        from ..automata.minimize import prune_unreachable, reduce_nfta
+
+        if cache_key is not None:
+            cached = self._iface_cache.get(cache_key)
+            if cached is not None:
+                self.stats.conj_cache_hits += 1
+                return cached
+            self.stats.conj_cache_misses += 1
+        acc = self.automaton_conj(parts)
+        guard = self._active_guard()
+        if isinstance(acc, ProductAutomaton):
+            unsat = next(
+                (f for f in acc.factors if not f.accepting), None
+            )
+            if unsat is not None:
+                side = unsat
+            else:
+                with self.stats.phase("explore"):
+                    exp = acc.explore(
+                        max_states=self.product_budget,
+                        stop_on_accepting=False,
+                        record=True,
+                        guard=guard,
+                    )
+                self.stats.note_exploration(exp.reached)
+                side = acc.materialized_explored(exp)
+        else:
+            side = acc
+        with self.stats.phase("compile"):
+            drop = [t for t in side.tracks if t not in keep]
+            iface = reduce_nfta(
+                prune_unreachable(side.projected(drop)), guard=guard
+            )
+        if cache_key is not None:
+            self._iface_cache[cache_key] = iface
+        return iface
+
     def sat_of(self, automaton: Automaton, exist_fo=(), want_witness=True) -> SolveResult:
         """Emptiness/witness of a pre-built automaton, after projecting the
         given first-order variables (their Sing constraints must already be
@@ -245,7 +311,7 @@ class MSOSolver:
                     max_states=self.product_budget,
                     guard=self._active_guard(),
                 )
-            self.stats.note_exploration(exp.reached)
+            self.stats.note_exploration(exp.reached, exp.pruned, exp.superseded)
             w = None
             if exp.target is None:
                 status = "unsat"

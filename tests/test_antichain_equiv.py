@@ -1,0 +1,125 @@
+"""Antichain pruning must never change a verdict — only its cost.
+
+Subsumption pruning (``explore(antichain=...)``) drops product tuples
+that an upward-simulation-larger tuple dominates.  That preserves
+*emptiness* (the antichain invariant, DESIGN.md §12) but not the full
+reached language, so the only observable allowed to move is the
+tuple/edge accounting.  These tests pin the invariant three ways:
+
+* seeded fuzz over random small factor lists — on/off emptiness must
+  coincide, with and without early accept-stop;
+* the committed corpus programs end to end through the symbolic race
+  engine with the class default forced both ways;
+* counter sanity — ``pruned``/``superseded`` are non-negative, zero
+  when pruning is off, and accumulate monotonically in ``SolverStats``.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.automata import ProductAutomaton, TrackRegistry, TreeAutomaton
+from repro.solver.stats import SolverStats
+
+CORPUS = Path(__file__).parent / "corpus"
+TRACKS = ("A", "B")
+
+
+def _random_automaton(rng, registry):
+    mgr = registry.manager
+    guards = [
+        mgr.true,
+        registry.bit("A"),
+        registry.bit("A", False),
+        registry.bit("B"),
+        mgr.apply_and(registry.bit("A"), registry.bit("B", False)),
+    ]
+    n = rng.randint(1, 4)
+    leaf = []
+    for q in range(n):
+        if rng.random() < 0.6:
+            leaf.append((rng.choice(guards), q))
+    delta = {}
+    for ql in range(n):
+        for qr in range(n):
+            entries = []
+            for q in range(n):
+                if rng.random() < 0.35:
+                    entries.append((rng.choice(guards), q))
+            if entries:
+                delta[(ql, qr)] = entries
+    accepting = frozenset(q for q in range(n) if rng.random() < 0.5) or frozenset(
+        [rng.randrange(n)]
+    )
+    return TreeAutomaton(
+        registry=registry,
+        tracks=frozenset(TRACKS),
+        n_states=n,
+        leaf=leaf,
+        delta=delta,
+        accepting=accepting,
+        deterministic=False,
+        complete=False,
+    )
+
+
+@pytest.mark.parametrize("base", range(0, 120, 30))
+def test_fuzz_on_off_emptiness_agrees(base):
+    for seed in range(base, base + 30):
+        rng = random.Random(seed)
+        registry = TrackRegistry()
+        factors = [_random_automaton(rng, registry) for _ in range(rng.randint(2, 4))]
+        prod = ProductAutomaton(factors)
+        on = prod.explore(stop_on_accepting=False, antichain=True)
+        off = ProductAutomaton(factors).explore(
+            stop_on_accepting=False, antichain=False
+        )
+        assert on.empty == off.empty, f"seed {seed}: emptiness diverged"
+        # Early-stop path must agree with the saturating one too.
+        fast = ProductAutomaton(factors).explore(antichain=True)
+        assert fast.empty == off.empty, f"seed {seed}: early-stop diverged"
+        # Counter sanity.
+        assert on.pruned >= 0 and on.superseded >= 0
+        assert off.pruned == 0 and off.superseded == 0
+        # Pruning only ever shrinks the saturated table.
+        assert on.reached <= off.reached + on.pruned + on.superseded
+
+
+def _corpus_sources():
+    out = []
+    for path in sorted(CORPUS.glob("*.json")):
+        data = json.loads(path.read_text())
+        src = data.get("source")
+        if src:
+            out.append(pytest.param(src, id=path.stem))
+    return out
+
+
+@pytest.mark.parametrize("src", _corpus_sources())
+def test_corpus_verdicts_invariant_under_antichain(src, monkeypatch):
+    from repro.core.symbolic import check_data_race_mso
+    from repro.lang import parse_program
+
+    program = parse_program(src, name="corpus")
+    monkeypatch.setattr(ProductAutomaton, "ANTICHAIN", True)
+    on = check_data_race_mso(program)
+    monkeypatch.setattr(ProductAutomaton, "ANTICHAIN", False)
+    off = check_data_race_mso(program)
+    assert on.status == off.status
+    if on.status == "decided":
+        assert on.found == off.found
+
+
+def test_stats_counters_accumulate_monotonically():
+    stats = SolverStats()
+    totals = []
+    for pruned, superseded in ((3, 1), (0, 0), (5, 2)):
+        stats.note_exploration(10, pruned=pruned, superseded=superseded)
+        totals.append((stats.pruned_tuples, stats.superseded_tuples))
+    assert totals == [(3, 1), (3, 1), (8, 3)]
+    assert stats.last_pruned == 5
+    snap = stats.as_dict()
+    assert snap["pruned_tuples"] == 8
+    assert snap["superseded_tuples"] == 3

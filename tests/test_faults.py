@@ -163,3 +163,81 @@ def test_env_armed_probe_is_sound(sizecount_par):
     except ReproError:
         return
     assert r.verdict == "race-free"
+
+
+class TestRefactoredHotPaths:
+    """Sweep re-run pinned to the refactored decision hot path.
+
+    The int-table BDD core, the batched antichain fixpoint, and the
+    recorded interface saturations of the conflict engine moved the code
+    the solver probes sit on; these re-assert the no-silent-wrong-verdict
+    contract on the new paths, with deeper hit counts so the probes fire
+    mid-saturation (not on the first op) and with the corrupt action on
+    the equivalence path too.
+    """
+
+    def test_int_table_corrupt_handle_trips_index_error(self):
+        """The 1 << 62 stand-in can never be a valid int-table index."""
+        from repro.bdd import BDDManager
+
+        mgr = BDDManager()
+        bad = faults._corrupted("bdd.apply", mgr.true)
+        assert bad == 1 << 62
+        with pytest.raises(IndexError):
+            mgr.level(bad)
+        with pytest.raises(IndexError):
+            mgr.apply_and(bad, mgr.var(0))
+
+    @pytest.mark.parametrize(
+        "probe,action,hit",
+        [
+            ("bdd.apply", "raise", 5001),
+            ("bdd.apply", "corrupt", 5001),
+            ("emptiness.fixpoint", "raise", 33),
+            ("emptiness.fixpoint", "corrupt", 33),
+            ("product.expand", "raise", 33),
+            ("product.expand", "corrupt", 33),
+        ],
+    )
+    def test_conflict_query_survives_mid_run_injection(
+        self, sizecount_seq, sizecount_fused, probe, action, hit
+    ):
+        faults.arm(probe, hit=hit, action=action)
+        try:
+            r = check_equivalence(
+                sizecount_seq,
+                sizecount_fused,
+                sizecount.fusion_correspondence(),
+                engine="auto",
+                mso_deadline_s=30,
+                max_internal=2,
+                replay=False,
+            )
+        except ReproError:
+            return  # typed failure is an accepted outcome
+        assert r.verdict == "equivalent", (
+            f"fault {probe}:{hit}:{action} flipped the verdict "
+            f"to {r.verdict!r}"
+        )
+
+    @pytest.mark.parametrize("antichain", [True, False])
+    def test_antichain_paths_survive_fixpoint_injection(
+        self, sizecount_par, antichain, monkeypatch
+    ):
+        """The probe sits on the batch drain both with and without
+        subsumption pruning; neither path may mis-answer under fire."""
+        from repro.automata.product import ProductAutomaton
+
+        monkeypatch.setattr(ProductAutomaton, "ANTICHAIN", antichain)
+        faults.arm("emptiness.fixpoint", hit=17, action="corrupt")
+        try:
+            r = check_data_race(
+                sizecount_par,
+                engine="auto",
+                mso_deadline_s=20,
+                max_internal=2,
+                replay=False,
+            )
+        except ReproError:
+            return
+        assert r.verdict == "race-free"
